@@ -1,0 +1,75 @@
+//! Criterion benches for fanout sampling and the statistics substrate —
+//! one fanout draw happens per infected member per execution, so the
+//! samplers are the hottest leaves of the whole Monte-Carlo stack.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gossip_model::distribution::{
+    EmpiricalFanout, FanoutDistribution, FixedFanout, GeometricFanout, PoissonFanout,
+    PowerLawFanout, UniformFanout,
+};
+use gossip_stats::binomial::Binomial;
+use gossip_stats::poisson::Poisson;
+use gossip_stats::rng::Xoshiro256StarStar;
+
+fn bench_fanout_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions/sample");
+    group.throughput(Throughput::Elements(1));
+    let mut rng = Xoshiro256StarStar::new(1);
+
+    let po = PoissonFanout::new(4.0);
+    group.bench_function("poisson_z4", |b| b.iter(|| black_box(po.sample(&mut rng))));
+
+    let fixed = FixedFanout::new(4);
+    group.bench_function("fixed_4", |b| b.iter(|| black_box(fixed.sample(&mut rng))));
+
+    let geo = GeometricFanout::with_mean(4.0);
+    group.bench_function("geometric_mean4", |b| b.iter(|| black_box(geo.sample(&mut rng))));
+
+    let uni = UniformFanout::new(2, 6);
+    group.bench_function("uniform_2_6", |b| b.iter(|| black_box(uni.sample(&mut rng))));
+
+    let pl = PowerLawFanout::new(2.5, 1, 100);
+    group.bench_function("powerlaw_alias", |b| b.iter(|| black_box(pl.sample(&mut rng))));
+
+    let emp = EmpiricalFanout::new(&[0.1, 0.2, 0.3, 0.2, 0.1, 0.1]);
+    group.bench_function("empirical_alias", |b| b.iter(|| black_box(emp.sample(&mut rng))));
+    group.finish();
+}
+
+fn bench_stats_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions/stats");
+    let mut rng = Xoshiro256StarStar::new(2);
+    group.bench_function("rng_next_u64", |b| b.iter(|| black_box(rng.next())));
+    group.bench_function("rng_next_below_1000", |b| {
+        b.iter(|| black_box(rng.next_below(1000)))
+    });
+
+    let po = Poisson::new(30.0);
+    group.bench_function("poisson_sample_lambda30", |b| {
+        b.iter(|| black_box(po.sample(&mut rng)))
+    });
+    group.bench_function("poisson_cdf", |b| b.iter(|| black_box(po.cdf(black_box(25)))));
+
+    let bin = Binomial::new(20, 0.967);
+    group.bench_function("binomial_pmf_vector_20", |b| {
+        b.iter(|| black_box(bin.pmf_vector()))
+    });
+    group.finish();
+}
+
+fn bench_generating_function_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions/genfun_g0");
+    let geo = GeometricFanout::with_mean(6.0);
+    group.bench_function("series_geometric", |b| b.iter(|| black_box(geo.g0(0.63))));
+    let po = PoissonFanout::new(6.0);
+    group.bench_function("closed_poisson", |b| b.iter(|| black_box(po.g0(0.63))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fanout_samplers,
+    bench_stats_substrate,
+    bench_generating_function_eval
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benches for the random-graph substrate: configuration-model
+//! generation, gossip-digraph construction, component censuses, and
+//! union-find — the inner loops of the graph-level validation
+//! experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_model::distribution::PoissonFanout;
+use gossip_rgraph::{
+    components, percolate, ConfigurationModel, GossipGraphBuilder, UnionFind,
+};
+use gossip_rgraph::reach::reach;
+use gossip_stats::rng::Xoshiro256StarStar;
+
+fn bench_configuration_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphs/configuration_model");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let dist = PoissonFanout::new(4.0);
+            let model = ConfigurationModel::new(&dist, n);
+            let mut rng = Xoshiro256StarStar::new(1);
+            b.iter(|| black_box(model.generate(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gossip_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphs/gossip_digraph");
+    for &n in &[1_000usize, 5_000, 50_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let dist = PoissonFanout::new(4.0);
+            let builder = GossipGraphBuilder::new(&dist, n, 0.9);
+            let mut rng = Xoshiro256StarStar::new(2);
+            b.iter(|| black_box(builder.build(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_census_and_reach(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphs/analysis");
+    let dist = PoissonFanout::new(4.0);
+    let n = 50_000;
+    let g = ConfigurationModel::new(&dist, n).generate(&mut Xoshiro256StarStar::new(3));
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("census_50k", |b| b.iter(|| components::census(black_box(&g))));
+    group.bench_function("percolate_50k_q0.8", |b| {
+        let mut rng = Xoshiro256StarStar::new(4);
+        b.iter(|| percolate(black_box(&g), 0.8, &[], &mut rng))
+    });
+    let gossip = GossipGraphBuilder::new(&dist, n, 0.9).build(&mut Xoshiro256StarStar::new(5));
+    group.bench_function("directed_reach_50k", |b| b.iter(|| reach(black_box(&gossip))));
+    group.finish();
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphs/unionfind");
+    let n = 100_000u32;
+    // Pre-generated random union pairs.
+    let mut rng = Xoshiro256StarStar::new(6);
+    let pairs: Vec<(u32, u32)> = (0..n)
+        .map(|_| {
+            (
+                rng.next_below(n as u64) as u32,
+                rng.next_below(n as u64) as u32,
+            )
+        })
+        .collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("union_100k_random_pairs", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new(n as usize);
+            for &(a, bb) in &pairs {
+                uf.union(a, bb);
+            }
+            black_box(uf.component_count())
+        })
+    });
+    group.bench_function("reset_reuse_100k", |b| {
+        let mut uf = UnionFind::new(n as usize);
+        b.iter(|| {
+            uf.reset();
+            for &(a, bb) in &pairs {
+                uf.union(a, bb);
+            }
+            black_box(uf.largest())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_configuration_model,
+    bench_gossip_graph,
+    bench_census_and_reach,
+    bench_union_find
+);
+criterion_main!(benches);

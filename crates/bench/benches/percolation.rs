@@ -1,0 +1,91 @@
+//! Criterion benches for the analytic percolation solver — the code the
+//! model evaluates once per figure point; design loops (bisection over
+//! the solver) amplify its cost by ~50×.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_model::distribution::{
+    EmpiricalFanout, FanoutDistribution, GeometricFanout, PoissonFanout,
+};
+use gossip_model::{design, poisson_case, SitePercolation};
+
+fn bench_reliability_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percolation/reliability");
+    for &(z, q) in &[(4.0, 0.9), (1.2, 0.9), (2.0, 0.51)] {
+        // Near-critical parameters stress the fixed-point iteration.
+        group.bench_with_input(
+            BenchmarkId::new("poisson_generic", format!("z{z}_q{q}")),
+            &(z, q),
+            |b, &(z, q)| {
+                let dist = PoissonFanout::new(z);
+                b.iter(|| {
+                    SitePercolation::new(black_box(&dist), black_box(q))
+                        .unwrap()
+                        .reliability()
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("poisson_lambertw", format!("z{z}_q{q}")),
+            &(z, q),
+            |b, &(z, q)| b.iter(|| poisson_case::reliability(black_box(z), black_box(q)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_series_distributions(c: &mut Criterion) {
+    // Distributions without closed forms exercise the truncated-series
+    // generating functions inside the fixed-point loop.
+    let mut group = c.benchmark_group("percolation/series_based");
+    let geo = GeometricFanout::with_mean(4.0);
+    group.bench_function("geometric_mean4_q0.9", |b| {
+        b.iter(|| {
+            SitePercolation::new(black_box(&geo), 0.9)
+                .unwrap()
+                .reliability()
+                .unwrap()
+        })
+    });
+    let weights: Vec<f64> = (0..64).map(|k| ((k % 7) + 1) as f64).collect();
+    let emp = EmpiricalFanout::new(&weights);
+    group.bench_function("empirical_64_q0.9", |b| {
+        b.iter(|| {
+            SitePercolation::new(black_box(&emp), 0.9)
+                .unwrap()
+                .reliability()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_design_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percolation/design");
+    group.bench_function("min_nonfailed_ratio_po6_target0.9", |b| {
+        let dist = PoissonFanout::new(6.0);
+        b.iter(|| design::min_nonfailed_ratio(black_box(&dist), 0.9).unwrap())
+    });
+    group.bench_function("required_scale_poisson_q0.8", |b| {
+        b.iter(|| design::required_scale(PoissonFanout::new, 0.8, 0.95, 0.1, 50.0).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_generating_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percolation/genfun");
+    let geo = GeometricFanout::with_mean(4.0);
+    group.bench_function("g1_series_eval", |b| b.iter(|| geo.g1(black_box(0.7))));
+    let po = PoissonFanout::new(4.0);
+    group.bench_function("g1_closed_form_eval", |b| b.iter(|| po.g1(black_box(0.7))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reliability_solver,
+    bench_series_distributions,
+    bench_design_inverse,
+    bench_generating_functions
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches comparing protocol costs at matched reliability —
+//! the performance side of the protocol-comparison experiments.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gossip_model::distribution::{FanoutDistribution, FixedFanout, PoissonFanout};
+use gossip_netsim::membership::FullView;
+use gossip_netsim::{LatencyModel, NetworkConfig, SimDuration, Simulator};
+use gossip_protocol::engine::{run_execution, ExecutionConfig};
+use gossip_protocol::{Flooding, GossipMessage, MessageId, PushGossip, RoundBasedGossip};
+
+const N: usize = 1_000;
+
+fn bench_push_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/one_execution_n1000");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(N as u64));
+    let cfg = ExecutionConfig::new(N, 0.9);
+
+    let poisson: Arc<dyn FanoutDistribution> = Arc::new(PoissonFanout::new(4.0));
+    group.bench_function("push_poisson4", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_execution(&cfg, |_| PushGossip::new(poisson.clone()), seed))
+        })
+    });
+
+    let fixed: Arc<dyn FanoutDistribution> = Arc::new(FixedFanout::new(4));
+    group.bench_function("push_fixed4", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_execution(&cfg, |_| PushGossip::new(fixed.clone()), seed))
+        })
+    });
+
+    group.bench_function("rounds_f2_r3", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_execution(
+                &cfg,
+                |_| RoundBasedGossip::new(2, 3, SimDuration::from_millis(10)),
+                seed,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_flooding_smallgroup(c: &mut Criterion) {
+    // Flooding over a full view is O(n²); bench at a small n to keep the
+    // comparison honest without dominating bench wall-time.
+    let mut group = c.benchmark_group("protocols/flooding");
+    group.sample_size(20);
+    let n = 200;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("flood_full_view_n200", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut sim: Simulator<GossipMessage, Flooding> = Simulator::new(
+                (0..n).map(|_| Flooding::new()).collect(),
+                NetworkConfig::new(LatencyModel::constant_millis(1)),
+                Box::new(FullView::new(n)),
+                seed,
+            );
+            sim.inject(0, 0, GossipMessage::new(MessageId(seed), &b"m"[..]));
+            sim.run_to_quiescence();
+            black_box(sim.metrics().messages_sent)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_variants, bench_flooding_smallgroup);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the discrete-event simulator core: event queue
+//! throughput and end-to-end gossip executions at the paper's group
+//! sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_model::distribution::PoissonFanout;
+use gossip_netsim::queue::EventQueue;
+use gossip_netsim::{EventKind, SimTime};
+use gossip_protocol::engine::{run_push, ExecutionConfig, MembershipKind};
+use gossip_stats::rng::Xoshiro256StarStar;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/event_queue");
+    for &n in &[1_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("schedule_pop_random", n),
+            &n,
+            |b, &n| {
+                let mut rng = Xoshiro256StarStar::new(7);
+                let times: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
+                b.iter(|| {
+                    let mut q: EventQueue<u32> = EventQueue::with_capacity(n);
+                    for &t in &times {
+                        q.schedule(SimTime::from_nanos(t), 0, EventKind::Timer { id: t });
+                    }
+                    let mut last = 0u64;
+                    while let Some(e) = q.pop() {
+                        last = e.time.as_nanos();
+                    }
+                    black_box(last)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/execution");
+    group.sample_size(20);
+    for &n in &[1_000usize, 5_000] {
+        // The paper's group sizes (Figs. 4 and 5).
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("push_po4_q0.9", n), &n, |b, &n| {
+            let cfg = ExecutionConfig::new(n, 0.9);
+            let dist = PoissonFanout::new(4.0);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_push(&cfg, &dist, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/membership");
+    group.sample_size(20);
+    let n = 2_000;
+    let dist = PoissonFanout::new(5.0);
+    group.bench_function("full_view_execution", |b| {
+        let cfg = ExecutionConfig::new(n, 0.9);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_push(&cfg, &dist, seed))
+        })
+    });
+    group.bench_function("scamp_execution_incl_build", |b| {
+        let cfg = ExecutionConfig::new(n, 0.9).with_membership(MembershipKind::Scamp { c: 2 });
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_push(&cfg, &dist, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_execution, bench_membership);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 2 — mean fanout `z` vs reliability `S` for q ∈ {0.2, …, 1.0}
+//! (analytic, paper Eq. 12: `z = −ln(1 − S)/(qS)`).
+//!
+//! Paper reference points: the curves span S ∈ [0.1111, 0.9999] with z
+//! rising to ≈46 at (q = 0.2, S = 0.9999) and staying below ≈10 at
+//! q = 1.0.
+
+use gossip_bench::{ascii_plot, Table};
+use gossip_model::sweep;
+
+fn main() {
+    let qs = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let curves = sweep::fig2_fanout_vs_reliability(&qs, 0.1111, 0.9999, 60)
+        .expect("Eq. 12 sweep is well-defined on this grid");
+
+    let mut headers = vec!["S".to_string()];
+    headers.extend(curves.iter().map(|c| format!("z({})", c.label)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Fig. 2 — mean fanout required for reliability S (Poisson, Eq. 12)",
+        &header_refs,
+    );
+    for i in 0..curves[0].points.len() {
+        let mut row = vec![curves[0].points[i].x];
+        row.extend(curves.iter().map(|c| c.points[i].y));
+        table.push_floats(&row, 4);
+    }
+    table.print();
+    table.save("fig2_fanout_vs_reliability.csv");
+
+    let series: Vec<(&str, Vec<(f64, f64)>)> = curves
+        .iter()
+        .map(|c| {
+            (
+                c.label.as_str(),
+                c.points.iter().map(|p| (p.x, p.y)).collect(),
+            )
+        })
+        .collect();
+    println!("{}", ascii_plot(&series, 70, 22));
+
+    // Headline checkpoints from the paper's plot.
+    let z_max = curves[0].points.last().expect("non-empty").y;
+    println!("checkpoint: z(q=0.2, S=0.9999) = {z_max:.2} (paper plot: ≈46)");
+}

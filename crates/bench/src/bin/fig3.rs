@@ -1,0 +1,37 @@
+//! Fig. 3 — minimum number of executions `t` for success probability
+//! p_s = 0.999, as a function of per-execution reliability `S`
+//! (analytic, paper Eq. 6: `t ≥ lg(1 − p_s)/lg(1 − S)`).
+//!
+//! Paper reference: t ≈ 20 near S = 0.3, dropping below 5 around S ≈
+//! 0.75 and to ~1–2 as S → 1 (Fig. 3 plots S from 0.2 to ~1.05 with t up
+//! to 20).
+
+use gossip_bench::{ascii_plot, Table};
+use gossip_model::sweep;
+
+fn main() {
+    let ps = 0.999;
+    let curve = sweep::fig3_required_executions(ps, 0.20, 0.995, 60)
+        .expect("Eq. 6 sweep is well-defined on this grid");
+
+    let mut table = Table::new(
+        "Fig. 3 — minimum executions t for Pr(success) ≥ 0.999 (Eq. 6)",
+        &["S", "t_min"],
+    );
+    for p in &curve.points {
+        table.push(vec![format!("{:.4}", p.x), format!("{}", p.y as u32)]);
+    }
+    table.print();
+    table.save("fig3_required_executions.csv");
+
+    let series = vec![(
+        "t_min(S), ps=0.999",
+        curve.points.iter().map(|p| (p.x, p.y)).collect::<Vec<_>>(),
+    )];
+    println!("{}", ascii_plot(&series, 70, 20));
+
+    // Paper's §5.2 worked example: S = 0.967 → t = 3.
+    let t_0967 = gossip_model::success::required_executions(0.967, ps)
+        .expect("0.967 is a valid reliability");
+    println!("checkpoint: t(S=0.967, ps=0.999) = {t_0967} (paper: \"greater than three\" → 3)");
+}

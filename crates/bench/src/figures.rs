@@ -1,0 +1,213 @@
+//! Shared experiment drivers for the figure binaries.
+
+use gossip_model::distribution::PoissonFanout;
+use gossip_model::percolation::SitePercolation;
+use gossip_model::sweep::paper_fanout_grid;
+use gossip_protocol::engine::ExecutionConfig;
+use gossip_protocol::experiment;
+use gossip_stats::binomial::Binomial;
+use gossip_stats::gof::{chi_square_pvalue, total_variation_distance};
+use gossip_stats::histogram::IntHistogram;
+use gossip_stats::rng::SplitMix64;
+
+use crate::Table;
+
+/// One `{f, q}` measurement of the Figs. 4/5 procedure.
+pub struct ReliabilityPoint {
+    /// Mean fanout `f`.
+    pub f: f64,
+    /// Nonfailed ratio `q`.
+    pub q: f64,
+    /// Simulated reliability, conditioned on take-off — the estimator of
+    /// the giant-component size that the paper's analysis curves plot
+    /// (the paper also "calculate\[s\] the size of giant component for
+    /// each case"). For subcritical points this equals the raw mean.
+    pub simulated: f64,
+    /// Unconditional mean over all replications (duds included); drops
+    /// toward `R²` at moderate reliability — reported in the CSVs for
+    /// transparency.
+    pub simulated_raw: f64,
+    /// Fraction of replications that took off.
+    pub takeoff_rate: f64,
+    /// Analytic reliability: the root of Eq. 11.
+    pub analytic: f64,
+}
+
+/// Runs the Figs. 4/5 sweep: reliability vs mean fanout for each `q`,
+/// on groups of `n` members; `reps` runs per point (paper: 20).
+pub fn reliability_vs_fanout(
+    n: usize,
+    qs: &[f64],
+    reps: usize,
+    base_seed: u64,
+) -> Vec<ReliabilityPoint> {
+    let grid = paper_fanout_grid();
+    let mut points = Vec::with_capacity(qs.len() * grid.len());
+    for (qi, &q) in qs.iter().enumerate() {
+        let cfg = ExecutionConfig::new(n, q);
+        for (fi, &f) in grid.iter().enumerate() {
+            let dist = PoissonFanout::new(f);
+            let seed = SplitMix64::derive(base_seed, (qi * 1000 + fi) as u64);
+            let analytic = SitePercolation::new(&dist, q)
+                .expect("q validated by ExecutionConfig")
+                .reliability()
+                .expect("Poisson percolation always converges");
+            let outcomes = experiment::executions(&cfg, &dist, reps, seed);
+            let mut raw = 0.0;
+            let mut takeoff_sum = 0.0;
+            let mut takeoffs = 0usize;
+            // An execution "takes off" when it escapes the source's
+            // neighbourhood; half the analytic prediction separates the
+            // two modes cleanly. Subcritical points have one mode only.
+            let threshold = 0.5 * analytic;
+            for o in &outcomes {
+                let r = o.reliability();
+                raw += r;
+                if analytic < 0.05 || r > threshold {
+                    takeoff_sum += r;
+                    takeoffs += 1;
+                }
+            }
+            raw /= outcomes.len() as f64;
+            let simulated = if takeoffs == 0 {
+                0.0
+            } else {
+                takeoff_sum / takeoffs as f64
+            };
+            points.push(ReliabilityPoint {
+                f,
+                q,
+                simulated,
+                simulated_raw: raw,
+                takeoff_rate: takeoffs as f64 / outcomes.len() as f64,
+                analytic,
+            });
+        }
+    }
+    points
+}
+
+/// Formats a [`reliability_vs_fanout`] sweep as a table with one
+/// sim/analysis column pair per `q`.
+pub fn reliability_table(title: &str, qs: &[f64], points: &[ReliabilityPoint]) -> Table {
+    let grid = paper_fanout_grid();
+    let mut headers = vec!["f".to_string()];
+    for q in qs {
+        headers.push(format!("sim q={q}"));
+        headers.push(format!("ana q={q}"));
+        headers.push(format!("raw q={q}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+    for (fi, &f) in grid.iter().enumerate() {
+        let mut row = vec![f];
+        for (qi, _) in qs.iter().enumerate() {
+            let p = &points[qi * grid.len() + fi];
+            row.push(p.simulated);
+            row.push(p.analytic);
+            row.push(p.simulated_raw);
+        }
+        table.push_floats(&row, 4);
+    }
+    table
+}
+
+/// Largest |sim − analysis| across supercritical points (f·q > 1.2 —
+/// clear of the transition, where finite-size rounding dominates).
+pub fn max_supercritical_gap(points: &[ReliabilityPoint]) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.f * p.q > 1.2)
+        .map(|p| (p.simulated - p.analytic).abs())
+        .fold(0.0, f64::max)
+}
+
+/// The Figs. 6/7 procedure: distribution of the paper's §4.2 variable
+/// `X` — executions (out of `execs`) in which a nonfailed member
+/// received the message — over `sims` simulations, vs the analytic
+/// `B(execs, R)` with `R` from Eq. 11.
+pub struct SuccessCountFigure {
+    /// Simulated histogram of `X` (per-member receipt count).
+    pub histogram: IntHistogram,
+    /// The analytic distribution the paper plots: `B(execs, R)`.
+    pub analytic: Binomial,
+    /// The paper's rounded reliability for these parameters (0.967).
+    pub paper_r: f64,
+    /// Total-variation distance between simulated pmf and analytic pmf.
+    pub tv_distance: f64,
+    /// Chi-square p-value of the fit.
+    pub chi2_pvalue: f64,
+    /// The *directed* refinement the paper's model misses: a member
+    /// receives iff the source's dissemination takes off (prob. S) AND
+    /// the member sits in the reachable giant component (prob. S) —
+    /// `B(execs, S²)`. The measured histogram fits this line tighter.
+    pub analytic_directed: Binomial,
+    /// TV distance to the `B(execs, S²)` refinement.
+    pub tv_directed: f64,
+    /// For contrast: the strict group-wide success count (every
+    /// nonfailed member reached) over an equal number of executions —
+    /// essentially 0 at n in the thousands, which is how we know the
+    /// paper's Figs. 6/7 plot the per-member variable (EXPERIMENTS.md).
+    pub strict_success_mean: f64,
+}
+
+/// Runs the success-count experiment for `{f, q}` at group size `n`.
+pub fn success_count_figure(
+    n: usize,
+    f: f64,
+    q: f64,
+    execs: usize,
+    sims: usize,
+    base_seed: u64,
+) -> SuccessCountFigure {
+    let cfg = ExecutionConfig::new(n, q);
+    let dist = PoissonFanout::new(f);
+    let histogram = experiment::member_receipt_distribution(&cfg, &dist, execs, sims, base_seed);
+    let strict = experiment::success_count_distribution(
+        &cfg,
+        &dist,
+        execs,
+        (sims / 10).max(1),
+        base_seed ^ 0xDEAD,
+    );
+
+    let analytic_r = gossip_model::poisson_case::reliability(f, q)
+        .expect("parameters validated upstream");
+    let analytic = Binomial::new(execs as u64, analytic_r);
+    let analytic_directed = Binomial::new(execs as u64, analytic_r * analytic_r);
+    let sim_pmf = histogram.pmf_vector();
+    let ana_pmf = analytic.pmf_vector();
+    let tv = total_variation_distance(&sim_pmf, &ana_pmf);
+    let tv_directed = total_variation_distance(&sim_pmf, &analytic_directed.pmf_vector());
+    let chi = chi_square_pvalue(histogram.counts(), &ana_pmf, 5.0);
+    SuccessCountFigure {
+        histogram,
+        analytic,
+        paper_r: 0.967,
+        tv_distance: tv,
+        chi2_pvalue: chi.p_value,
+        analytic_directed,
+        tv_directed,
+        strict_success_mean: strict.mean(),
+    }
+}
+
+/// Formats a [`SuccessCountFigure`] as a table of `Pr(X = k)`.
+pub fn success_count_table(title: &str, fig: &SuccessCountFigure) -> Table {
+    let mut table = Table::new(
+        title,
+        &["k", "Pr(X=k) sim", "Pr(X=k) B(t,R) [paper]", "Pr(X=k) B(t,R^2) [directed]"],
+    );
+    for k in 0..fig.histogram.buckets() {
+        table.push_floats(
+            &[
+                k as f64,
+                fig.histogram.pmf(k),
+                fig.analytic.pmf(k as u64),
+                fig.analytic_directed.pmf(k as u64),
+            ],
+            4,
+        );
+    }
+    table
+}

@@ -1,0 +1,18 @@
+//! The three modeling approaches the paper's related work (§2) compares
+//! against — implemented so the comparison is executable, not rhetorical.
+//!
+//! * [`pbcast`] — the round-based *recurrence model* of Bimodal
+//!   Multicast (Birman et al., the paper's reference \[5\]);
+//! * [`si`] — the *SI epidemic model* used for the LRG protocol (Jia et
+//!   al., reference \[9\]);
+//! * [`asymptotic`] — the Kermarrec–Massoulié–Ganesh random-graph
+//!   *success criterion* `fanout = ln n + c ⇒ Pr(success) → e^{−e^{−c}}`
+//!   (reference \[6\], the "Microsoft model").
+//!
+//! Each module documents what its model can and cannot answer; the E12
+//! and E13 experiments race all of them (plus this crate's
+//! generalized-random-graph model) against the simulator.
+
+pub mod asymptotic;
+pub mod pbcast;
+pub mod si;

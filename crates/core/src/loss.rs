@@ -1,0 +1,210 @@
+//! Message loss as bond percolation — an extension beyond the paper.
+//!
+//! The paper's model covers *node* failures only (site percolation); its
+//! related-work section notes the LRG model "did not take message losses
+//! … into consideration" but leaves loss out of its own analysis too.
+//! The generating-function machinery extends naturally: if each message
+//! is independently lost with probability `ℓ`, an edge of the gossip
+//! graph *transmits* with probability `b = 1 − ℓ` (bond occupation), and
+//! the self-consistency condition becomes
+//!
+//! ```text
+//! u = (1 − b) + b·[(1 − q) + q·G1(u)],       R = 1 − G0(u).
+//! ```
+//!
+//! For Poisson fanout this collapses to `R = 1 − e^{−z·b·q·R}` — loss
+//! simply multiplies into the epidemic product `z·q`, so a deployment
+//! can trade fanout against loss one-for-one. The integration tests
+//! validate the formula against the simulator's loss model end to end.
+
+use crate::distribution::FanoutDistribution;
+use crate::error::ModelError;
+use crate::solver::smallest_fixed_point;
+
+/// Convergence tolerance for the joint fixed point.
+const U_TOL: f64 = 1e-13;
+/// Iteration budget (near-critical convergence is slow).
+const U_MAX_ITER: usize = 4_000_000;
+
+/// Site + bond percolation: nonfailed ratio `q` (nodes) and delivery
+/// probability `b = 1 − loss` (edges).
+#[derive(Clone, Copy, Debug)]
+pub struct LossyGossip<'a, D: FanoutDistribution + ?Sized> {
+    dist: &'a D,
+    q: f64,
+    loss: f64,
+}
+
+impl<'a, D: FanoutDistribution + ?Sized> LossyGossip<'a, D> {
+    /// Creates the joint analysis for `q ∈ (0, 1]` and `loss ∈ [0, 1)`.
+    pub fn new(dist: &'a D, q: f64, loss: f64) -> Result<Self, ModelError> {
+        if !(q.is_finite() && q > 0.0 && q <= 1.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "q",
+                value: q,
+                requirement: "nonfailed member ratio must lie in (0, 1]",
+            });
+        }
+        if !(loss.is_finite() && (0.0..1.0).contains(&loss)) {
+            return Err(ModelError::InvalidParameter {
+                name: "loss",
+                value: loss,
+                requirement: "message loss probability must lie in [0, 1)",
+            });
+        }
+        Ok(Self { dist, q, loss })
+    }
+
+    /// Delivery probability `b = 1 − loss`.
+    #[inline]
+    pub fn delivery(&self) -> f64 {
+        1.0 - self.loss
+    }
+
+    /// Critical surface: the giant component exists iff
+    /// `b·q·G1'(1) > 1`. Returns the critical loss probability at this
+    /// `q` (`None` when even lossless transmission cannot percolate).
+    pub fn critical_loss(&self) -> Option<f64> {
+        let g1p = self.dist.g1_prime_at_one();
+        if g1p <= 0.0 {
+            return None;
+        }
+        let b_crit = 1.0 / (self.q * g1p);
+        if b_crit > 1.0 {
+            None // subcritical even at zero loss
+        } else {
+            Some(1.0 - b_crit)
+        }
+    }
+
+    /// Whether the configured `(q, loss)` lies above the threshold.
+    pub fn is_supercritical(&self) -> bool {
+        self.delivery() * self.q * self.dist.g1_prime_at_one() > 1.0
+    }
+
+    /// Solves `u = (1 − b) + b[(1 − q) + q·G1(u)]` for the smallest root.
+    pub fn u(&self) -> Result<f64, ModelError> {
+        if !self.is_supercritical() {
+            return Ok(1.0);
+        }
+        let b = self.delivery();
+        let q = self.q;
+        let fp = smallest_fixed_point(
+            |u| (1.0 - b) + b * ((1.0 - q) + q * self.dist.g1(u)),
+            0.0,
+            0.0,
+            1.0,
+            U_TOL,
+            U_MAX_ITER,
+        )?;
+        Ok(fp.value)
+    }
+
+    /// Reliability under crashes *and* loss: the probability that a
+    /// nonfailed member receives the message, `1 − G0(u)`.
+    pub fn reliability(&self) -> Result<f64, ModelError> {
+        let u = self.u()?;
+        Ok((1.0 - self.dist.g0(u)).clamp(0.0, 1.0))
+    }
+}
+
+/// Poisson closed form: the root of `R = 1 − e^{−z·(1−loss)·q·R}` — loss
+/// folds into the epidemic product.
+pub fn poisson_reliability_with_loss(z: f64, q: f64, loss: f64) -> Result<f64, ModelError> {
+    if !(loss.is_finite() && (0.0..1.0).contains(&loss)) {
+        return Err(ModelError::InvalidParameter {
+            name: "loss",
+            value: loss,
+            requirement: "message loss probability must lie in [0, 1)",
+        });
+    }
+    crate::poisson_case::reliability(z * (1.0 - loss), q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{FixedFanout, PoissonFanout};
+    use crate::percolation::SitePercolation;
+
+    #[test]
+    fn zero_loss_reduces_to_site_percolation() {
+        let d = PoissonFanout::new(4.0);
+        for &q in &[0.5, 0.9, 1.0] {
+            let lossy = LossyGossip::new(&d, q, 0.0).unwrap().reliability().unwrap();
+            let site = SitePercolation::new(&d, q).unwrap().reliability().unwrap();
+            assert!((lossy - site).abs() < 1e-10, "q = {q}: {lossy} vs {site}");
+        }
+    }
+
+    #[test]
+    fn poisson_loss_folds_into_product() {
+        // Generic joint solver must match the closed form R = f(z·b·q).
+        let d = PoissonFanout::new(5.0);
+        for &(q, loss) in &[(0.9, 0.1), (0.8, 0.3), (1.0, 0.5), (0.6, 0.2)] {
+            let generic = LossyGossip::new(&d, q, loss)
+                .unwrap()
+                .reliability()
+                .unwrap();
+            let closed = poisson_reliability_with_loss(5.0, q, loss).unwrap();
+            assert!(
+                (generic - closed).abs() < 1e-8,
+                "q={q}, ℓ={loss}: generic {generic} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_fanout_equivalence() {
+        // z(1−ℓ) at zero loss ≡ z at loss ℓ (Poisson only).
+        let with_loss = poisson_reliability_with_loss(6.0, 0.9, 0.25).unwrap();
+        let thinned = crate::poisson_case::reliability(4.5, 0.9).unwrap();
+        assert!((with_loss - thinned).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_loss_surface() {
+        // Po(4), q = 0.5: b_crit = 1/(0.5·4) = 0.5 → loss_crit = 0.5.
+        let d = PoissonFanout::new(4.0);
+        let m = LossyGossip::new(&d, 0.5, 0.0).unwrap();
+        assert!((m.critical_loss().unwrap() - 0.5).abs() < 1e-12);
+        // Just below the critical loss: alive; above: dead.
+        let alive = LossyGossip::new(&d, 0.5, 0.45).unwrap();
+        assert!(alive.is_supercritical());
+        assert!(alive.reliability().unwrap() > 0.0);
+        let dead = LossyGossip::new(&d, 0.5, 0.55).unwrap();
+        assert!(!dead.is_supercritical());
+        assert_eq!(dead.reliability().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn critical_loss_none_when_hopeless() {
+        // Po(1.5) at q = 0.5: even lossless zq = 0.75 < 1.
+        let d = PoissonFanout::new(1.5);
+        let m = LossyGossip::new(&d, 0.5, 0.0).unwrap();
+        assert_eq!(m.critical_loss(), None);
+        // Fixed(1) never percolates at all.
+        let f1 = FixedFanout::new(1);
+        assert_eq!(LossyGossip::new(&f1, 1.0, 0.0).unwrap().critical_loss(), None);
+    }
+
+    #[test]
+    fn reliability_monotone_in_loss() {
+        let d = PoissonFanout::new(4.0);
+        let mut last = 1.0;
+        for i in 0..8 {
+            let loss = i as f64 * 0.1;
+            let r = LossyGossip::new(&d, 0.9, loss).unwrap().reliability().unwrap();
+            assert!(r <= last + 1e-12, "loss {loss}: R must fall");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn rejects_bad_loss() {
+        let d = PoissonFanout::new(3.0);
+        assert!(LossyGossip::new(&d, 0.9, 1.0).is_err());
+        assert!(LossyGossip::new(&d, 0.9, -0.1).is_err());
+        assert!(poisson_reliability_with_loss(3.0, 0.9, 1.0).is_err());
+    }
+}

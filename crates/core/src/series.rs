@@ -1,0 +1,143 @@
+//! Truncated power-series evaluation of probability generating functions.
+//!
+//! The generalized-random-graph machinery only ever needs four numbers
+//! from a fanout distribution `P`: `G0(x) = Σ p_k x^k`, its first two
+//! derivatives, and the tail-truncation point. Distributions with closed
+//! forms (Poisson, binomial, …) override the trait methods; everything
+//! else falls back to these Horner-style series evaluators, truncated
+//! where the pmf tail drops below a tolerance.
+
+/// Evaluates `Σ_{k=0}^{kmax} pmf(k) · x^k`.
+///
+/// Direct accumulation (not Horner) because the pmf is produced by a
+/// closure, not stored as coefficients; each term reuses the running power
+/// of `x`, so the cost is one multiply-add per term.
+pub fn eval_g0<F: Fn(usize) -> f64>(pmf: F, x: f64, kmax: usize) -> f64 {
+    let mut acc = 0.0;
+    let mut xp = 1.0; // x^k
+    for k in 0..=kmax {
+        acc += pmf(k) * xp;
+        xp *= x;
+    }
+    acc
+}
+
+/// Evaluates `G0'(x) = Σ k · pmf(k) · x^{k−1}`.
+pub fn eval_g0_prime<F: Fn(usize) -> f64>(pmf: F, x: f64, kmax: usize) -> f64 {
+    let mut acc = 0.0;
+    let mut xp = 1.0; // x^{k-1}
+    for k in 1..=kmax {
+        acc += k as f64 * pmf(k) * xp;
+        xp *= x;
+    }
+    acc
+}
+
+/// Evaluates `G0''(x) = Σ k(k−1) · pmf(k) · x^{k−2}`.
+pub fn eval_g0_double_prime<F: Fn(usize) -> f64>(pmf: F, x: f64, kmax: usize) -> f64 {
+    let mut acc = 0.0;
+    let mut xp = 1.0; // x^{k-2}
+    for k in 2..=kmax {
+        acc += (k * (k - 1)) as f64 * pmf(k) * xp;
+        xp *= x;
+    }
+    acc
+}
+
+/// Mean `Σ k · pmf(k)` over the truncated support (= `G0'(1)`).
+pub fn mean<F: Fn(usize) -> f64>(pmf: F, kmax: usize) -> f64 {
+    eval_g0_prime(pmf, 1.0, kmax)
+}
+
+/// Finds the smallest `K` with `Σ_{k=0}^{K} pmf(k) ≥ 1 − eps` by direct
+/// accumulation, probing up to `hard_cap` terms.
+///
+/// Returns `hard_cap` if the mass never accumulates (callers treat the
+/// result as a truncation point, so this fails safe — just slower).
+pub fn truncation_by_mass<F: Fn(usize) -> f64>(pmf: F, eps: f64, hard_cap: usize) -> usize {
+    let mut cum = 0.0;
+    for k in 0..=hard_cap {
+        cum += pmf(k);
+        if cum >= 1.0 - eps {
+            return k;
+        }
+    }
+    hard_cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// pmf of a fair three-sided die on {0, 1, 2}.
+    fn die(k: usize) -> f64 {
+        if k <= 2 {
+            1.0 / 3.0
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn g0_at_one_is_total_mass() {
+        assert!((eval_g0(die, 1.0, 10) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn g0_matches_polynomial() {
+        // G0(x) = (1 + x + x²)/3 at x = 0.5 → (1 + .5 + .25)/3.
+        let got = eval_g0(die, 0.5, 10);
+        assert!((got - 1.75 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn derivative_matches_polynomial() {
+        // G0'(x) = (1 + 2x)/3 at x = 0.5 → 2/3.
+        let got = eval_g0_prime(die, 0.5, 10);
+        assert!((got - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn second_derivative_matches_polynomial() {
+        // G0''(x) = 2/3 everywhere.
+        for &x in &[0.0, 0.3, 1.0] {
+            assert!((eval_g0_double_prime(die, x, 10) - 2.0 / 3.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn mean_of_die() {
+        assert!((mean(die, 10) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn derivatives_agree_with_finite_differences() {
+        // Use a geometric-ish pmf with infinite support, truncated.
+        let pmf = |k: usize| 0.4 * 0.6f64.powi(k as i32);
+        let kmax = 200;
+        let x = 0.7;
+        let h = 1e-6;
+        let num_d1 = (eval_g0(pmf, x + h, kmax) - eval_g0(pmf, x - h, kmax)) / (2.0 * h);
+        assert!((eval_g0_prime(pmf, x, kmax) - num_d1).abs() < 1e-8);
+        let num_d2 =
+            (eval_g0_prime(pmf, x + h, kmax) - eval_g0_prime(pmf, x - h, kmax)) / (2.0 * h);
+        assert!((eval_g0_double_prime(pmf, x, kmax) - num_d2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn truncation_by_mass_finds_tight_point() {
+        let k = truncation_by_mass(die, 1e-9, 1000);
+        assert_eq!(k, 2);
+        // Geometric with p = 0.5: tail after K is 0.5^{K+1}.
+        let geo = |k: usize| 0.5f64.powi(k as i32 + 1);
+        let k = truncation_by_mass(geo, 1e-6, 1000);
+        assert!((19..=21).contains(&k), "got {k}");
+    }
+
+    #[test]
+    fn truncation_hard_cap_fail_safe() {
+        // A "pmf" that never accumulates mass.
+        let zero = |_: usize| 0.0;
+        assert_eq!(truncation_by_mass(zero, 1e-9, 64), 64);
+    }
+}

@@ -1,0 +1,222 @@
+//! Scalar root-finding and fixed-point iteration.
+//!
+//! Two solvers cover everything the model needs:
+//!
+//! * [`smallest_fixed_point`] — for the self-consistency condition
+//!   `u = 1 − q + q·G1(u)` (paper Eq. 4 / Callaway et al.). The map is
+//!   monotone non-decreasing and maps `[0, 1]` into itself, so iterating
+//!   from 0 converges to the *smallest* fixed point — exactly the root
+//!   the percolation theory wants (the trivial root `u = 1` always
+//!   exists).
+//! * [`bisect`] — for inverse problems (required fanout, maximum
+//!   tolerable failure ratio), where the objective is monotone but has no
+//!   closed form.
+
+use crate::error::ModelError;
+
+/// Outcome of a fixed-point solve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FixedPoint {
+    /// The fixed-point value.
+    pub value: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Residual `|φ(u) − u|` at the returned value.
+    pub residual: f64,
+}
+
+/// Iterates `u ← φ(u)` from `start` until `|φ(u) − u| ≤ tol`.
+///
+/// Convergence near the percolation threshold is only linear with rate
+/// approaching 1, so every few steps an Aitken Δ² extrapolation is
+/// attempted; it is kept only when it stays inside `[lo, hi]` and reduces
+/// the residual (safe acceleration — never worse than plain iteration).
+pub fn smallest_fixed_point<F: Fn(f64) -> f64>(
+    phi: F,
+    start: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<FixedPoint, ModelError> {
+    let clamp = |x: f64| x.clamp(lo, hi);
+    let mut u = clamp(start);
+    let mut iterations = 0usize;
+    while iterations < max_iter {
+        let u1 = clamp(phi(u));
+        iterations += 1;
+        if (u1 - u).abs() <= tol {
+            return Ok(FixedPoint {
+                value: u1,
+                iterations,
+                residual: (u1 - u).abs(),
+            });
+        }
+        // Aitken Δ² every 4 plain steps: u* ≈ u − (Δ1)² / (Δ2 − Δ1).
+        if iterations % 4 == 0 {
+            let u2 = clamp(phi(u1));
+            iterations += 1;
+            let d1 = u1 - u;
+            let d2 = u2 - u1;
+            let denom = d2 - d1;
+            if denom.abs() > f64::EPSILON {
+                let accel = u - d1 * d1 / denom;
+                if (lo..=hi).contains(&accel) {
+                    let r_accel = (phi(accel) - accel).abs();
+                    let r_plain = (phi(u2) - u2).abs();
+                    iterations += 2;
+                    if r_accel < r_plain {
+                        if r_accel <= tol {
+                            return Ok(FixedPoint {
+                                value: accel,
+                                iterations,
+                                residual: r_accel,
+                            });
+                        }
+                        u = accel;
+                        continue;
+                    }
+                }
+            }
+            u = u2;
+        } else {
+            u = u1;
+        }
+    }
+    // One last residual check: iteration may have stagnated within
+    // floating-point noise of the fixed point without meeting `tol`.
+    let residual = (phi(u) - u).abs();
+    if residual <= tol * 16.0 {
+        return Ok(FixedPoint {
+            value: u,
+            iterations,
+            residual,
+        });
+    }
+    Err(ModelError::NoConvergence {
+        what: "fixed point",
+        iterations,
+    })
+}
+
+/// Finds a root of `f` on `[lo, hi]` by bisection, assuming
+/// `sign(f(lo)) ≠ sign(f(hi))`.
+///
+/// Returns the midpoint once the bracket is narrower than `tol`. Exact
+/// zeros at either endpoint are returned immediately.
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, ModelError> {
+    if lo > hi {
+        std::mem::swap(&mut lo, &mut hi);
+    }
+    let mut flo = f(lo);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    let fhi = f(hi);
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(ModelError::InvalidParameter {
+            name: "bracket",
+            value: lo,
+            requirement: "f(lo) and f(hi) must have opposite signs",
+        });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo <= tol {
+            return Ok(mid);
+        }
+        let fmid = f(mid);
+        if fmid == 0.0 {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(ModelError::NoConvergence {
+        what: "bisection",
+        iterations: max_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_of_cosine() {
+        // The Dottie number: u = cos(u) ≈ 0.739085.
+        let fp = smallest_fixed_point(|u| u.cos(), 0.0, 0.0, 1.0, 1e-13, 10_000).unwrap();
+        assert!((fp.value - 0.739_085_133_215_160_6).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fixed_point_picks_smallest_root() {
+        // φ(u) = 1 − q + q·u² with q = 0.9 has fixed points u = 1/9·...:
+        // u = q u² − u + 1 − q = 0 → roots u = 1 and u = (1−q)/q = 1/9.
+        let q = 0.9;
+        let fp = smallest_fixed_point(|u| 1.0 - q + q * u * u, 0.0, 0.0, 1.0, 1e-14, 100_000)
+            .unwrap();
+        assert!(
+            (fp.value - (1.0 - q) / q).abs() < 1e-10,
+            "got {} expected {}",
+            fp.value,
+            (1.0 - q) / q
+        );
+    }
+
+    #[test]
+    fn fixed_point_trivial_root_when_subcritical() {
+        // q below critical: only fixed point in [0,1] is u = 1.
+        let q = 0.3;
+        let fp = smallest_fixed_point(|u| 1.0 - q + q * u * u, 0.0, 0.0, 1.0, 1e-12, 100_000)
+            .unwrap();
+        assert!((fp.value - 1.0).abs() < 1e-6, "got {}", fp.value);
+    }
+
+    #[test]
+    fn fixed_point_near_critical_converges() {
+        // Exactly at criticality (q such that φ'(1) = 1): 2q = 1.
+        let q = 0.5 + 1e-6;
+        let fp = smallest_fixed_point(|u| 1.0 - q + q * u * u, 0.0, 0.0, 1.0, 1e-12, 2_000_000)
+            .unwrap();
+        let expected = (1.0 - q) / q;
+        assert!((fp.value - expected).abs() < 1e-5, "got {}", fp.value);
+    }
+
+    #[test]
+    fn bisect_linear() {
+        let root = bisect(|x| 2.0 * x - 1.0, 0.0, 1.0, 1e-12, 200).unwrap();
+        assert!((root - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_swapped_bracket() {
+        let root = bisect(|x| x * x - 2.0, 2.0, 0.0, 1e-12, 200).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_rejects_same_sign() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidParameter { .. }));
+    }
+}

@@ -1,0 +1,189 @@
+//! Parameter-sweep series for the paper's analytic figures.
+//!
+//! The bench harness regenerates each figure from these functions; they
+//! produce plain `(x, y)` series so the printing/CSV layer stays dumb.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::PoissonFanout;
+use crate::error::ModelError;
+use crate::percolation::SitePercolation;
+use crate::poisson_case;
+use crate::success;
+
+/// One point of an analytic curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Independent variable (meaning depends on the sweep).
+    pub x: f64,
+    /// Dependent variable.
+    pub y: f64,
+}
+
+/// A labelled analytic curve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Curve {
+    /// Legend label, e.g. `"q=0.4"`.
+    pub label: String,
+    /// The points, in increasing `x`.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Fig. 2 — mean fanout `z` required for reliability `S` (Eq. 12), one
+/// curve per `q`.
+///
+/// `s_range` is swept inclusively from `s_min` to `s_max` in `steps`
+/// points (the paper uses S ∈ [0.1111, 0.9999]).
+pub fn fig2_fanout_vs_reliability(
+    qs: &[f64],
+    s_min: f64,
+    s_max: f64,
+    steps: usize,
+) -> Result<Vec<Curve>, ModelError> {
+    assert!(steps >= 2, "need at least 2 sweep points");
+    let mut curves = Vec::with_capacity(qs.len());
+    for &q in qs {
+        let mut points = Vec::with_capacity(steps);
+        for i in 0..steps {
+            let s = s_min + (s_max - s_min) * i as f64 / (steps - 1) as f64;
+            let z = poisson_case::mean_fanout_for(s, q)?;
+            points.push(SweepPoint { x: s, y: z });
+        }
+        curves.push(Curve {
+            label: format!("q={q}"),
+            points,
+        });
+    }
+    Ok(curves)
+}
+
+/// Fig. 3 — minimum executions `t` for gossip success `p_s` as a function
+/// of per-execution reliability `S` (Eq. 6).
+pub fn fig3_required_executions(
+    p_s: f64,
+    s_min: f64,
+    s_max: f64,
+    steps: usize,
+) -> Result<Curve, ModelError> {
+    assert!(steps >= 2, "need at least 2 sweep points");
+    let mut points = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let s = s_min + (s_max - s_min) * i as f64 / (steps - 1) as f64;
+        let t = success::required_executions(s, p_s)?;
+        points.push(SweepPoint {
+            x: s,
+            y: t as f64,
+        });
+    }
+    Ok(Curve {
+        label: format!("ps={p_s}"),
+        points,
+    })
+}
+
+/// The analytic curves of Figs. 4/5 — reliability vs. mean fanout for a
+/// set of `q` values, Poisson fanout (Eq. 11 solved at each point).
+///
+/// The paper sweeps `f` from 1.1 to 6.7 in steps of 0.4.
+pub fn fig45_reliability_vs_fanout(
+    qs: &[f64],
+    f_min: f64,
+    f_max: f64,
+    step: f64,
+) -> Result<Vec<Curve>, ModelError> {
+    assert!(step > 0.0, "step must be positive");
+    let mut curves = Vec::with_capacity(qs.len());
+    for &q in qs {
+        let mut points = Vec::new();
+        let mut f = f_min;
+        while f <= f_max + 1e-9 {
+            let dist = PoissonFanout::new(f);
+            let r = SitePercolation::new(&dist, q)?.reliability()?;
+            points.push(SweepPoint { x: f, y: r });
+            f += step;
+        }
+        curves.push(Curve {
+            label: format!("q={q}"),
+            points,
+        });
+    }
+    Ok(curves)
+}
+
+/// The paper's fanout grid for Figs. 4/5: 1.1 to 6.7 step 0.4.
+pub fn paper_fanout_grid() -> Vec<f64> {
+    let mut grid = Vec::new();
+    let mut f = 1.1;
+    while f <= 6.7 + 1e-9 {
+        grid.push((f * 10.0f64).round() / 10.0);
+        f += 0.4;
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_curves_shape() {
+        let curves =
+            fig2_fanout_vs_reliability(&[0.2, 0.4, 0.6, 0.8, 1.0], 0.1111, 0.9999, 50).unwrap();
+        assert_eq!(curves.len(), 5);
+        for c in &curves {
+            assert_eq!(c.points.len(), 50);
+            // z grows with S within each curve.
+            for w in c.points.windows(2) {
+                assert!(w[1].y >= w[0].y, "{}: z not monotone in S", c.label);
+            }
+        }
+        // Smaller q needs larger fanout at the same S.
+        let z_q02 = curves[0].points[25].y;
+        let z_q10 = curves[4].points[25].y;
+        assert!(z_q02 > z_q10);
+        // Paper: z tops out near 50 at q = 0.2, S = 0.9999.
+        let z_max = curves[0].points.last().unwrap().y;
+        assert!((40.0..50.5).contains(&z_max), "z_max = {z_max}");
+    }
+
+    #[test]
+    fn fig3_curve_shape() {
+        let c = fig3_required_executions(0.999, 0.2, 0.99, 80).unwrap();
+        assert_eq!(c.points.len(), 80);
+        for w in c.points.windows(2) {
+            assert!(w[1].y <= w[0].y, "t must fall as S rises");
+        }
+        // Paper Fig. 3: t reaches ~20 at the small-S end, ~2 near S=0.95.
+        assert!(c.points[0].y >= 20.0);
+        assert!(c.points.last().unwrap().y <= 3.0);
+    }
+
+    #[test]
+    fn fig45_curves_shape() {
+        let curves = fig45_reliability_vs_fanout(&[0.1, 0.5, 1.0], 1.1, 6.7, 0.4).unwrap();
+        assert_eq!(curves.len(), 3);
+        let grid = paper_fanout_grid();
+        assert_eq!(curves[0].points.len(), grid.len());
+        // q = 0.1 stays subcritical until f > 10 — all zeros on this grid.
+        assert!(curves[0].points.iter().all(|p| p.y < 1e-9));
+        // q = 1.0 reaches ~0.99+ by f = 6.7.
+        assert!(curves[2].points.last().unwrap().y > 0.99);
+        // Monotone in f for fixed q.
+        for c in &curves {
+            for w in c.points.windows(2) {
+                assert!(w[1].y >= w[0].y - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_grid_matches_caption() {
+        let grid = paper_fanout_grid();
+        assert_eq!(grid.first().copied(), Some(1.1));
+        assert_eq!(grid.last().copied(), Some(6.7));
+        assert_eq!(grid.len(), 15);
+        for w in grid.windows(2) {
+            assert!(((w[1] - w[0]) - 0.4).abs() < 1e-9);
+        }
+    }
+}

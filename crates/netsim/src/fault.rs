@@ -1,0 +1,73 @@
+//! Fail-stop failure injection.
+//!
+//! The paper's failure model (§3, §4.1): members fail only by crashing;
+//! a failed member never gossips; crashes "before receiving the message
+//! or after receiving it but not yet forwarding it" are treated the same;
+//! the source never fails. [`FailurePlan::CrashAtStart`] realizes exactly
+//! that — an i.i.d. crash pattern with nonfailed probability `q` and an
+//! immune set. [`FailurePlan::CrashAtTimes`] additionally supports
+//! mid-run crashes for experiments beyond the paper's model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::NodeId;
+use crate::time::SimTime;
+
+/// When and which nodes crash.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FailurePlan {
+    /// Nobody crashes.
+    None,
+    /// Each node independently survives with probability `q` (crashes
+    /// with `1 − q`) before the run starts; `immune` nodes (the source)
+    /// never crash. The paper's model.
+    CrashAtStart {
+        /// Nonfailed member ratio `q ∈ (0, 1]`.
+        nonfailed_ratio: f64,
+        /// Nodes that never crash (the paper's source member).
+        immune: Vec<NodeId>,
+    },
+    /// Explicit crash schedule: node `id` crashes at the given time.
+    CrashAtTimes(Vec<(SimTime, NodeId)>),
+}
+
+impl FailurePlan {
+    /// Convenience constructor for the paper's model with a single
+    /// immune source.
+    pub fn paper_model(q: f64, source: NodeId) -> Self {
+        assert!(
+            q > 0.0 && q <= 1.0,
+            "nonfailed ratio must be in (0, 1], got {q}"
+        );
+        FailurePlan::CrashAtStart {
+            nonfailed_ratio: q,
+            immune: vec![source],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_constructor() {
+        let plan = FailurePlan::paper_model(0.8, 3);
+        match plan {
+            FailurePlan::CrashAtStart {
+                nonfailed_ratio,
+                immune,
+            } => {
+                assert_eq!(nonfailed_ratio, 0.8);
+                assert_eq!(immune, vec![3]);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonfailed ratio")]
+    fn rejects_zero_q() {
+        FailurePlan::paper_model(0.0, 0);
+    }
+}

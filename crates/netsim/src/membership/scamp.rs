@@ -1,0 +1,245 @@
+//! SCAMP-style partial views.
+//!
+//! The paper cites SCAMP (Ganesh, Kermarrec, Massoulié — its reference
+//! \[12\]) as the membership service gossip would run on in a real
+//! deployment. This module reimplements the core of SCAMP's
+//! *subscription* algorithm to build per-node partial views whose
+//! expected size is `(c + 1)·ln n` — large enough (by SCAMP's analysis)
+//! for gossip over partial views to behave like gossip over uniform
+//! views. The membership-ablation experiment (E10) quantifies exactly
+//! that claim against this implementation.
+//!
+//! The construction is run offline (views frozen before the multicast
+//! starts), which matches the paper's model: membership churn is out of
+//! scope, only crashes during dissemination matter.
+
+use gossip_stats::rng::Xoshiro256StarStar;
+
+use super::{Membership, NodeId};
+
+/// Partial views built by a SCAMP-style subscription process.
+#[derive(Clone, Debug)]
+pub struct ScampViews {
+    views: Vec<Vec<NodeId>>,
+}
+
+impl ScampViews {
+    /// Builds views for `n` members with redundancy parameter `c`
+    /// (SCAMP's "c additional copies"; expected view size `(c+1)·ln n`).
+    ///
+    /// Deterministic in `seed`.
+    pub fn build(n: usize, c: usize, seed: u64) -> Self {
+        assert!(n >= 2, "SCAMP needs at least 2 members");
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut views: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+
+        // Bootstrap: a small ring among the first few members so early
+        // subscriptions have somewhere to land.
+        let boot = (c + 2).min(n);
+        for i in 0..boot {
+            let next = ((i + 1) % boot) as NodeId;
+            if next != i as NodeId {
+                views[i].push(next);
+            }
+        }
+
+        // Incremental joins, as in SCAMP: member j subscribes via a
+        // contact chosen among the *already joined* members 0..j. (The
+        // (c+1)·ln n view size comes precisely from this growth process —
+        // the k-th join deposits |view(contact)| + c + 1 ≈ (c+1)·ln k
+        // arcs.)
+        for j in boot as NodeId..n as NodeId {
+            let contact = rng.next_below(j as u64) as NodeId;
+            // The subscriber initializes its own view with its contact.
+            views[j as usize].push(contact);
+            // The contact forwards the subscription to every member of
+            // its view, plus c extra copies to random view members; the
+            // contact itself also integrates j.
+            let mut copies: Vec<NodeId> = views[contact as usize].clone();
+            for _ in 0..c {
+                if let Some(&extra) = pick(&views[contact as usize], &mut rng) {
+                    copies.push(extra);
+                }
+            }
+            copies.push(contact);
+
+            for mut holder in copies {
+                // Forward until kept: keep with probability 1/(1+|view|),
+                // otherwise pass to a random view member. Hop cap keeps
+                // termination unconditional; the forced keep at the cap
+                // only adds O(1/n) distortion.
+                let mut hops = 0;
+                loop {
+                    hops += 1;
+                    let view = &mut views[holder as usize];
+                    let keep_p = 1.0 / (1.0 + view.len() as f64);
+                    if holder != j
+                        && !view.contains(&j)
+                        && (rng.next_bool(keep_p) || hops >= 50)
+                    {
+                        view.push(j);
+                        break;
+                    }
+                    match pick(view, &mut rng).copied() {
+                        Some(next) if next != j => holder = next,
+                        _ => {
+                            // Dead end (empty view or only j): keep here
+                            // if legal, else drop the copy.
+                            if holder != j && !views[holder as usize].contains(&j) {
+                                views[holder as usize].push(j);
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Guarantee no isolated members: anyone with an empty view gets
+        // one uniform contact (SCAMP's lease/rebalance safety net).
+        for v in 0..n as NodeId {
+            if views[v as usize].is_empty() {
+                let target = loop {
+                    let cand = rng.next_below(n as u64) as NodeId;
+                    if cand != v {
+                        break cand;
+                    }
+                };
+                views[v as usize].push(target);
+            }
+        }
+
+        Self { views }
+    }
+
+    /// The raw view of `node`.
+    pub fn view(&self, node: NodeId) -> &[NodeId] {
+        &self.views[node as usize]
+    }
+
+    /// Mean view size across members.
+    pub fn mean_view_size(&self) -> f64 {
+        let total: usize = self.views.iter().map(Vec::len).sum();
+        total as f64 / self.views.len() as f64
+    }
+}
+
+/// Uniform element of a slice, or `None` if empty.
+fn pick<'a, T>(slice: &'a [T], rng: &mut Xoshiro256StarStar) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[rng.next_below(slice.len() as u64) as usize])
+    }
+}
+
+impl Membership for ScampViews {
+    fn group_size(&self) -> usize {
+        self.views.len()
+    }
+
+    fn view_size(&self, node: NodeId) -> usize {
+        self.views[node as usize].len()
+    }
+
+    fn sample_targets(
+        &self,
+        node: NodeId,
+        k: usize,
+        rng: &mut Xoshiro256StarStar,
+        out: &mut Vec<NodeId>,
+    ) {
+        let view = &self.views[node as usize];
+        let k = k.min(view.len());
+        if k == 0 {
+            return;
+        }
+        // Rejection over the view with duplicate suppression; views are
+        // O(log n) so the scan is tiny.
+        let start = out.len();
+        let mut attempts = 0usize;
+        while out.len() - start < k && attempts < 64 * k + 64 {
+            attempts += 1;
+            let t = view[rng.next_below(view.len() as u64) as usize];
+            if t != node && !out[start..].contains(&t) {
+                out.push(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_size_scales_like_c_plus_one_log_n() {
+        for &(n, c) in &[(500usize, 2usize), (2000, 3)] {
+            let views = ScampViews::build(n, c, 77);
+            let mean = views.mean_view_size();
+            let expected = (c as f64 + 1.0) * (n as f64).ln();
+            assert!(
+                mean > 0.4 * expected && mean < 2.5 * expected,
+                "n={n}, c={c}: mean view {mean:.1}, SCAMP predicts ≈{expected:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn views_contain_no_self_or_duplicates() {
+        let views = ScampViews::build(300, 2, 9);
+        for v in 0..300u32 {
+            let view = views.view(v);
+            assert!(!view.contains(&v), "self in view of {v}");
+            let mut sorted = view.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), view.len(), "duplicates in view of {v}");
+        }
+    }
+
+    #[test]
+    fn no_empty_views() {
+        let views = ScampViews::build(100, 1, 3);
+        for v in 0..100u32 {
+            assert!(views.view_size(v) >= 1, "member {v} isolated");
+        }
+    }
+
+    #[test]
+    fn sampling_respects_view() {
+        let views = ScampViews::build(200, 2, 5);
+        let mut rng = Xoshiro256StarStar::new(8);
+        for v in [0u32, 17, 199] {
+            let mut out = Vec::new();
+            views.sample_targets(v, 4, &mut rng, &mut out);
+            assert!(out.len() <= 4);
+            for t in &out {
+                assert!(views.view(v).contains(t), "{t} not in view of {v}");
+            }
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), out.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = ScampViews::build(150, 2, 42);
+        let b = ScampViews::build(150, 2, 42);
+        for v in 0..150u32 {
+            assert_eq!(a.view(v), b.view(v));
+        }
+        let c = ScampViews::build(150, 2, 43);
+        assert!((0..150u32).any(|v| a.view(v) != c.view(v)));
+    }
+
+    #[test]
+    fn membership_trait_dispatch() {
+        let views = ScampViews::build(50, 1, 2);
+        let m: &dyn Membership = &views;
+        assert_eq!(m.group_size(), 50);
+        assert!(m.view_size(0) >= 1);
+    }
+}

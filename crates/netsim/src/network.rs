@@ -1,0 +1,178 @@
+//! Network delay and loss models.
+//!
+//! The paper's analysis abstracts the network away entirely (gossip
+//! "executions" are untimed); the simulator keeps a network layer so the
+//! same protocol code can also answer latency questions (hop/time
+//! distributions) and face message loss — the knobs real gossip
+//! deployments tune.
+
+use gossip_stats::rng::Xoshiro256StarStar;
+
+use crate::time::SimDuration;
+
+/// Per-message latency model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(SimDuration),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Minimum latency.
+        lo: SimDuration,
+        /// Maximum latency.
+        hi: SimDuration,
+    },
+    /// Exponentially distributed with the given mean (memoryless WAN
+    /// approximation).
+    Exponential {
+        /// Mean latency.
+        mean: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Constant latency in milliseconds — the common case in tests.
+    pub const fn constant_millis(ms: u64) -> Self {
+        LatencyModel::Constant(SimDuration::from_millis(ms))
+    }
+
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi, "uniform latency needs lo <= hi");
+                let span = hi.as_nanos() - lo.as_nanos();
+                if span == 0 {
+                    lo
+                } else {
+                    SimDuration::from_nanos(lo.as_nanos() + rng.next_below(span + 1))
+                }
+            }
+            LatencyModel::Exponential { mean } => {
+                let u = rng.next_f64().max(f64::MIN_POSITIVE);
+                mean.mul_f64(-u.ln())
+            }
+        }
+    }
+}
+
+/// Network configuration: latency plus independent per-message loss.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkConfig {
+    /// Latency model applied to every message.
+    pub latency: LatencyModel,
+    /// Probability that a message is silently dropped in transit.
+    pub loss_probability: f64,
+}
+
+impl NetworkConfig {
+    /// Lossless network with the given latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        Self {
+            latency,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Sets the loss probability. Panics outside `[0, 1)`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1), got {p}"
+        );
+        self.loss_probability = p;
+        self
+    }
+
+    /// Decides the fate of one message: `Some(latency)` to deliver,
+    /// `None` if lost.
+    pub fn transmit(&self, rng: &mut Xoshiro256StarStar) -> Option<SimDuration> {
+        if self.loss_probability > 0.0 && rng.next_bool(self.loss_probability) {
+            None
+        } else {
+            Some(self.latency.sample(rng))
+        }
+    }
+}
+
+impl Default for NetworkConfig {
+    /// 1 ms constant latency, lossless.
+    fn default() -> Self {
+        Self::new(LatencyModel::constant_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_latency() {
+        let m = LatencyModel::constant_millis(5);
+        let mut rng = Xoshiro256StarStar::new(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let m = LatencyModel::Uniform {
+            lo: SimDuration::from_millis(1),
+            hi: SimDuration::from_millis(3),
+        };
+        let mut rng = Xoshiro256StarStar::new(2);
+        let mut min = u64::MAX;
+        let mut max = 0;
+        for _ in 0..10_000 {
+            let d = m.sample(&mut rng).as_nanos();
+            min = min.min(d);
+            max = max.max(d);
+            assert!((1_000_000..=3_000_000).contains(&d));
+        }
+        // Should roughly cover the range.
+        assert!(min < 1_100_000, "min {min}");
+        assert!(max > 2_900_000, "max {max}");
+    }
+
+    #[test]
+    fn exponential_latency_mean() {
+        let m = LatencyModel::Exponential {
+            mean: SimDuration::from_millis(10),
+        };
+        let mut rng = Xoshiro256StarStar::new(3);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += m.sample(&mut rng).as_secs_f64();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.010).abs() < 0.0005, "mean {mean}");
+    }
+
+    #[test]
+    fn loss_rate_respected() {
+        let cfg = NetworkConfig::default().with_loss(0.3);
+        let mut rng = Xoshiro256StarStar::new(4);
+        let n = 100_000;
+        let delivered = (0..n).filter(|_| cfg.transmit(&mut rng).is_some()).count();
+        let rate = delivered as f64 / n as f64;
+        assert!((rate - 0.7).abs() < 0.01, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn lossless_always_delivers() {
+        let cfg = NetworkConfig::default();
+        let mut rng = Xoshiro256StarStar::new(5);
+        for _ in 0..1000 {
+            assert!(cfg.transmit(&mut rng).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_bad_loss() {
+        NetworkConfig::default().with_loss(1.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The future-event list: a binary min-heap keyed on `(time, seq)`.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use crate::event::{Event, EventKind, NodeId};
+use crate::time::SimTime;
+
+/// Priority queue of pending events, earliest first; FIFO among
+/// simultaneous events (via the insertion sequence number), which makes
+/// runs bit-reproducible.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Reverse<Event<M>>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at absolute time `time` for `target`.
+    pub fn schedule(&mut self, time: SimTime, target: NodeId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq,
+            target,
+            kind,
+        }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events (sequence counter keeps advancing so
+    /// determinism is unaffected).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 0, EventKind::Timer { id: 3 });
+        q.schedule(SimTime::from_nanos(10), 0, EventKind::Timer { id: 1 });
+        q.schedule(SimTime::from_nanos(20), 0, EventKind::Timer { id: 2 });
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { id } => id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for id in 0..100u64 {
+            q.schedule(t, 0, EventKind::Timer { id });
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { id } => id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q: EventQueue<u8> = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_nanos(7), 1, EventKind::Crash);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), 0, EventKind::Timer { id: 1 });
+        let first = q.pop().unwrap();
+        assert_eq!(first.time, SimTime::from_nanos(10));
+        // Scheduling after popping keeps the global sequence monotone.
+        q.schedule(SimTime::from_nanos(10), 0, EventKind::Timer { id: 2 });
+        q.schedule(SimTime::from_nanos(10), 0, EventKind::Timer { id: 3 });
+        let second = q.pop().unwrap();
+        let third = q.pop().unwrap();
+        assert!(second.seq < third.seq);
+    }
+}

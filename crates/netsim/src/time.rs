@@ -1,0 +1,196 @@
+//! Simulated time.
+//!
+//! Integer nanoseconds in a `u64`: exact arithmetic (no float drift in
+//! event ordering), ~584 years of range, and `Ord` for free.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant of simulated time (nanoseconds since simulation start).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`. Panics if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: earlier is later than self"),
+        )
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a span from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scales the span by a float factor (used by latency models);
+    /// saturates at the representable maximum and clamps negatives to 0.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        let scaled = (self.0 as f64 * factor).max(0.0);
+        if scaled >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(scaled as u64)
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        let t2 = t + SimDuration::from_millis(3);
+        assert_eq!((t2 - t).as_nanos(), 3_000_000);
+        let mut t3 = t;
+        t3 += SimDuration::from_nanos(1);
+        assert_eq!(t3.as_nanos(), 5_000_001);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(20);
+        assert!(a < b);
+        assert_eq!(b.since(a).as_nanos(), 10);
+    }
+
+    #[test]
+    fn mul_f64_scaling_and_saturation() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!(d.mul_f64(2.0).as_nanos(), 20_000_000);
+        assert_eq!(d.mul_f64(0.0).as_nanos(), 0);
+        assert_eq!(d.mul_f64(-1.0).as_nanos(), 0);
+        assert_eq!(SimDuration::from_nanos(u64::MAX / 2).mul_f64(1e9).as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier is later")]
+    fn since_rejects_reversed() {
+        SimTime::from_nanos(1).since(SimTime::from_nanos(2));
+    }
+}

@@ -1,0 +1,310 @@
+//! One *execution* of a gossip protocol (paper §4.2).
+//!
+//! An execution: crash each non-source member with probability `1 − q`,
+//! give the source the message, run the protocol to quiescence, then
+//! measure. Reliability is `n_rece / n_nonfailed` — the number of
+//! nonfailed members that received the message over the number of
+//! nonfailed members; success means every nonfailed member received it.
+
+use std::sync::Arc;
+
+use gossip_model::distribution::FanoutDistribution;
+use gossip_netsim::membership::{FullView, Membership, ScampViews};
+use gossip_netsim::{FailurePlan, NetworkConfig, NodeBehavior, NodeId, SimTime, Simulator};
+use gossip_stats::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+use crate::message::{GossipMessage, MessageId};
+use crate::push::PushGossip;
+use crate::GossipProtocol;
+
+/// Which membership service the nodes gossip over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MembershipKind {
+    /// Everyone knows everyone — the paper's analytical assumption.
+    Full,
+    /// SCAMP-style partial views with redundancy parameter `c`.
+    Scamp {
+        /// SCAMP redundancy parameter (expected view ≈ (c+1)·ln n).
+        c: usize,
+    },
+}
+
+/// Configuration of one execution.
+#[derive(Clone, Debug)]
+pub struct ExecutionConfig {
+    /// Group size `n`.
+    pub n: usize,
+    /// Nonfailed member ratio `q`.
+    pub q: f64,
+    /// Source member (never fails).
+    pub source: NodeId,
+    /// Network latency/loss.
+    pub network: NetworkConfig,
+    /// Membership service.
+    pub membership: MembershipKind,
+}
+
+impl ExecutionConfig {
+    /// The paper's setting: full membership, lossless 1 ms network,
+    /// source member 0.
+    pub fn new(n: usize, q: f64) -> Self {
+        assert!(n >= 2, "group needs at least 2 members");
+        assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1], got {q}");
+        Self {
+            n,
+            q,
+            source: 0,
+            network: NetworkConfig::default(),
+            membership: MembershipKind::Full,
+        }
+    }
+
+    /// Replaces the membership service.
+    pub fn with_membership(mut self, membership: MembershipKind) -> Self {
+        self.membership = membership;
+        self
+    }
+
+    /// Replaces the network configuration.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    fn build_membership(&self, seed: u64) -> Box<dyn Membership> {
+        match self.membership {
+            MembershipKind::Full => Box::new(FullView::new(self.n)),
+            MembershipKind::Scamp { c } => Box::new(ScampViews::build(self.n, c, seed)),
+        }
+    }
+}
+
+/// Measured results of one execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionOutcome {
+    /// Nonfailed members (denominator of reliability).
+    pub nonfailed: usize,
+    /// Nonfailed members that received the message (`n_rece`).
+    pub nonfailed_reached: usize,
+    /// Messages sent by behaviours during the execution.
+    pub messages_sent: u64,
+    /// Duplicate receipts across all nodes.
+    pub duplicates: u64,
+    /// Largest hop count at first receipt.
+    pub max_hop: u32,
+    /// Time of the last event (dissemination finished).
+    pub quiescence: SimTime,
+    /// Whether the *observer member* — a uniformly chosen nonfailed,
+    /// non-source member, fixed per execution — received the message.
+    /// This is the Bernoulli variable behind the paper's §4.2 success
+    /// calculus: across `t` executions, the observer's receipt count is
+    /// `X ~ B(t, R)` (Figs. 6/7).
+    pub observer_reached: bool,
+    /// First-receipt counts of nonfailed members by hop distance from
+    /// the source: `hop_histogram[h]` members first received the message
+    /// after `h` relays. Drives the dissemination-dynamics comparison
+    /// against the pbcast/SI baseline models (E12).
+    pub hop_histogram: Vec<u64>,
+}
+
+impl ExecutionOutcome {
+    /// Reliability `n_rece / n_nonfailed` (paper §4.2).
+    pub fn reliability(&self) -> f64 {
+        if self.nonfailed == 0 {
+            0.0
+        } else {
+            self.nonfailed_reached as f64 / self.nonfailed as f64
+        }
+    }
+
+    /// Success of gossiping: all nonfailed members reached.
+    pub fn is_success(&self) -> bool {
+        self.nonfailed_reached == self.nonfailed
+    }
+
+    /// Messages per nonfailed member — the protocol's unit cost.
+    pub fn messages_per_member(&self) -> f64 {
+        if self.nonfailed == 0 {
+            0.0
+        } else {
+            self.messages_sent as f64 / self.nonfailed as f64
+        }
+    }
+}
+
+/// Runs one execution of an arbitrary protocol built by `make(node_id)`.
+///
+/// The run is a pure function of `(cfg, make, seed)`: the crash pattern,
+/// membership (if SCAMP), network and protocol randomness all derive
+/// from `seed`.
+pub fn run_execution<P, F>(cfg: &ExecutionConfig, make: F, seed: u64) -> ExecutionOutcome
+where
+    P: GossipProtocol + NodeBehavior<GossipMessage>,
+    F: FnMut(NodeId) -> P,
+{
+    run_execution_with(cfg, make, seed, |sim, source| {
+        sim.inject(
+            source,
+            source,
+            GossipMessage::new(MessageId(seed), &b"payload"[..]),
+        );
+    })
+}
+
+/// As [`run_execution`], but with a custom injection step (used by
+/// protocols whose message type wraps [`GossipMessage`], e.g. push-pull,
+/// via their own engines; exposed for extensibility).
+pub fn run_execution_with<P, M, F, I>(
+    cfg: &ExecutionConfig,
+    mut make: F,
+    seed: u64,
+    inject: I,
+) -> ExecutionOutcome
+where
+    P: GossipProtocol + NodeBehavior<M>,
+    F: FnMut(NodeId) -> P,
+    I: FnOnce(&mut Simulator<M, P>, NodeId),
+{
+    let membership_seed = SplitMix64::derive(seed, 0x5CA0);
+    let sim_seed = SplitMix64::derive(seed, 0x51E0);
+    let behaviors: Vec<P> = (0..cfg.n as NodeId).map(&mut make).collect();
+    let mut sim = Simulator::new(
+        behaviors,
+        cfg.network,
+        cfg.build_membership(membership_seed),
+        sim_seed,
+    );
+    sim.apply_failure_plan(&FailurePlan::paper_model(cfg.q, cfg.source));
+    sim.start_all();
+    inject(&mut sim, cfg.source);
+    sim.run_to_quiescence();
+
+    let mut nonfailed = 0usize;
+    let mut nonfailed_reached = 0usize;
+    let mut duplicates = 0u64;
+    let mut max_hop = 0u32;
+    let mut hop_histogram: Vec<u64> = Vec::new();
+    for (_, behavior, crashed) in sim.nodes() {
+        duplicates += behavior.duplicates() as u64;
+        if let Some(h) = behavior.receipt_hop() {
+            max_hop = max_hop.max(h);
+        }
+        if !crashed {
+            nonfailed += 1;
+            if behavior.has_received() {
+                nonfailed_reached += 1;
+                let h = behavior.receipt_hop().expect("received implies hop") as usize;
+                if hop_histogram.len() <= h {
+                    hop_histogram.resize(h + 1, 0);
+                }
+                hop_histogram[h] += 1;
+            }
+        }
+    }
+
+    // Observer member: uniform among nonfailed non-source members,
+    // chosen by rejection with a seed-derived RNG (deterministic).
+    let mut observer_rng =
+        gossip_stats::rng::Xoshiro256StarStar::new(SplitMix64::derive(seed, 0x0B5E));
+    let observer_reached = loop {
+        let candidate = observer_rng.next_below(cfg.n as u64) as NodeId;
+        if candidate != cfg.source && !sim.is_crashed(candidate) {
+            break sim.node(candidate).has_received();
+        }
+        // With q > 0 a nonfailed candidate exists (the loop terminates
+        // with probability 1); n = 2 with the only other node crashed is
+        // the lone degenerate case — fall back to the source then.
+        if sim.live_count() <= 1 {
+            break sim.node(cfg.source).has_received();
+        }
+    };
+
+    ExecutionOutcome {
+        nonfailed,
+        nonfailed_reached,
+        messages_sent: sim.metrics().messages_sent,
+        duplicates,
+        max_hop,
+        quiescence: sim.metrics().last_event_time,
+        observer_reached,
+        hop_histogram,
+    }
+}
+
+/// Runs one execution of the paper's push protocol with fanout
+/// distribution `dist`.
+pub fn run_push<D>(cfg: &ExecutionConfig, dist: &D, seed: u64) -> ExecutionOutcome
+where
+    D: FanoutDistribution + Clone + 'static,
+{
+    let shared: Arc<dyn FanoutDistribution> = Arc::new(dist.clone());
+    run_execution(cfg, |_| PushGossip::new(shared.clone()), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::distribution::{FixedFanout, PoissonFanout};
+
+    #[test]
+    fn no_failure_high_fanout_succeeds() {
+        let cfg = ExecutionConfig::new(200, 1.0);
+        let out = run_push(&cfg, &FixedFanout::new(6), 1);
+        assert_eq!(out.nonfailed, 200);
+        assert!(out.reliability() > 0.99, "r = {}", out.reliability());
+        assert!(out.is_success());
+        assert!(out.max_hop > 0);
+        assert!(out.messages_per_member() > 5.0);
+    }
+
+    #[test]
+    fn subcritical_execution_dies_out() {
+        // Po(4) at q = 0.15 < q_c = 0.25: reach stays local.
+        let cfg = ExecutionConfig::new(2000, 0.15);
+        let out = run_push(&cfg, &PoissonFanout::new(4.0), 2);
+        assert!(
+            out.reliability() < 0.1,
+            "subcritical reliability {}",
+            out.reliability()
+        );
+        assert!(!out.is_success());
+    }
+
+    #[test]
+    fn reliability_counts_only_nonfailed() {
+        let cfg = ExecutionConfig::new(1000, 0.5);
+        let out = run_push(&cfg, &PoissonFanout::new(6.0), 3);
+        assert!(out.nonfailed < 600, "q=0.5 should fail ~half");
+        assert!(out.nonfailed_reached <= out.nonfailed);
+        assert!((0.0..=1.0).contains(&out.reliability()));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = ExecutionConfig::new(500, 0.8);
+        let a = run_push(&cfg, &PoissonFanout::new(4.0), 42);
+        let b = run_push(&cfg, &PoissonFanout::new(4.0), 42);
+        assert_eq!(a, b);
+        let c = run_push(&cfg, &PoissonFanout::new(4.0), 43);
+        assert_ne!(a, c, "different seeds should differ (a.s.)");
+    }
+
+    #[test]
+    fn scamp_membership_runs() {
+        let cfg =
+            ExecutionConfig::new(400, 0.9).with_membership(MembershipKind::Scamp { c: 2 });
+        let out = run_push(&cfg, &PoissonFanout::new(5.0), 4);
+        assert!(
+            out.reliability() > 0.5,
+            "gossip over SCAMP views reached {}",
+            out.reliability()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in (0, 1]")]
+    fn rejects_bad_q() {
+        ExecutionConfig::new(10, 0.0);
+    }
+}

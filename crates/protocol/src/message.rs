@@ -1,0 +1,75 @@
+//! The multicast message.
+
+use bytes::Bytes;
+
+/// Identifier of a multicast message (unique per multicast, not per
+/// copy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+/// A gossip message copy in flight.
+///
+/// The payload is a [`Bytes`] handle: cloning a message for each of `f`
+/// gossip targets is a reference-count bump, not a copy — the simulator
+/// can push gigabytes of logical payload around for free.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GossipMessage {
+    /// Which multicast this copy belongs to.
+    pub id: MessageId,
+    /// Hops travelled so far (0 when leaving the source).
+    pub hop: u32,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl GossipMessage {
+    /// Creates a fresh multicast message (hop 0).
+    pub fn new(id: MessageId, payload: impl Into<Bytes>) -> Self {
+        Self {
+            id,
+            hop: 0,
+            payload: payload.into(),
+        }
+    }
+
+    /// The copy a relay forwards: same id/payload, hop incremented.
+    pub fn forwarded(&self) -> Self {
+        Self {
+            id: self.id,
+            hop: self.hop.saturating_add(1),
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_increments_hop_only() {
+        let m = GossipMessage::new(MessageId(7), &b"hello"[..]);
+        assert_eq!(m.hop, 0);
+        let f = m.forwarded();
+        assert_eq!(f.hop, 1);
+        assert_eq!(f.id, MessageId(7));
+        assert_eq!(f.payload, m.payload);
+        assert_eq!(f.forwarded().hop, 2);
+    }
+
+    #[test]
+    fn payload_clone_is_shallow() {
+        let payload = Bytes::from(vec![0u8; 1024]);
+        let m = GossipMessage::new(MessageId(1), payload.clone());
+        let f = m.forwarded();
+        // Same underlying buffer (pointer equality via as_ptr).
+        assert_eq!(m.payload.as_ptr(), f.payload.as_ptr());
+    }
+
+    #[test]
+    fn hop_saturates() {
+        let mut m = GossipMessage::new(MessageId(1), &b""[..]);
+        m.hop = u32::MAX;
+        assert_eq!(m.forwarded().hop, u32::MAX);
+    }
+}

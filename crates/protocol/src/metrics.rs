@@ -1,0 +1,112 @@
+//! Aggregate metrics over collections of execution outcomes.
+//!
+//! The paper reports reliability and success; real deployments also care
+//! about cost (messages per member) and latency (hops, quiescence time).
+//! [`Summary`] rolls a batch of [`ExecutionOutcome`]s into all four, for
+//! the protocol-comparison experiments.
+
+use gossip_stats::descriptive::{ConfidenceInterval, OnlineStats};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::ExecutionOutcome;
+
+/// Aggregated statistics over a batch of executions.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Reliability per execution.
+    pub reliability: OnlineStats,
+    /// Messages per nonfailed member per execution.
+    pub messages_per_member: OnlineStats,
+    /// Max hop count per execution (dissemination depth).
+    pub max_hop: OnlineStats,
+    /// Quiescence time (seconds) per execution.
+    pub quiescence_secs: OnlineStats,
+    /// Number of executions that were total successes.
+    pub successes: u64,
+    /// Number of executions aggregated.
+    pub executions: u64,
+}
+
+impl Summary {
+    /// Builds a summary from outcomes.
+    pub fn from_outcomes(outcomes: &[ExecutionOutcome]) -> Self {
+        let mut s = Summary::default();
+        for o in outcomes {
+            s.push(o);
+        }
+        s
+    }
+
+    /// Adds one outcome.
+    pub fn push(&mut self, o: &ExecutionOutcome) {
+        self.reliability.push(o.reliability());
+        self.messages_per_member.push(o.messages_per_member());
+        self.max_hop.push(o.max_hop as f64);
+        self.quiescence_secs.push(o.quiescence.as_secs_f64());
+        if o.is_success() {
+            self.successes += 1;
+        }
+        self.executions += 1;
+    }
+
+    /// Empirical probability of total success.
+    pub fn success_rate(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.executions as f64
+        }
+    }
+
+    /// 95% confidence interval on mean reliability.
+    pub fn reliability_ci95(&self) -> ConfidenceInterval {
+        self.reliability.ci95()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_netsim::SimTime;
+
+    fn outcome(reached: usize, of: usize, msgs: u64) -> ExecutionOutcome {
+        ExecutionOutcome {
+            nonfailed: of,
+            nonfailed_reached: reached,
+            messages_sent: msgs,
+            duplicates: 0,
+            max_hop: 3,
+            quiescence: SimTime::from_nanos(5_000_000),
+            observer_reached: reached > 0,
+            hop_histogram: vec![1, reached.saturating_sub(1) as u64],
+        }
+    }
+
+    #[test]
+    fn aggregates_reliability_and_success() {
+        let outcomes = vec![outcome(100, 100, 400), outcome(50, 100, 400), outcome(100, 100, 0)];
+        let s = Summary::from_outcomes(&outcomes);
+        assert_eq!(s.executions, 3);
+        assert_eq!(s.successes, 2);
+        assert!((s.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.reliability.mean() - (1.0 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+        assert!((s.max_hop.mean() - 3.0).abs() < 1e-12);
+        assert!((s.quiescence_secs.mean() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::default();
+        assert_eq!(s.success_rate(), 0.0);
+        assert_eq!(s.executions, 0);
+    }
+
+    #[test]
+    fn ci_contains_mean() {
+        let outcomes: Vec<_> = (0..50).map(|i| outcome(90 + i % 10, 100, 300)).collect();
+        let s = Summary::from_outcomes(&outcomes);
+        let ci = s.reliability_ci95();
+        assert!(ci.contains(s.reliability.mean()));
+        assert!(ci.width() > 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Round-based gossip — the pbcast-style baseline.
+//!
+//! The paper's related work (§2) discusses pbcast/Bimodal Multicast,
+//! where members gossip in synchronous *rounds*: an infected member
+//! re-sends the message to `f` random targets every round for `R`
+//! rounds. Compared with the paper's one-shot random-fanout push, rounds
+//! trade extra messages (R·f per member instead of f) for reliability —
+//! the baseline the experiments quantify.
+
+use gossip_netsim::{NodeBehavior, NodeCtx, NodeId, SimDuration, SimTime};
+
+use crate::message::GossipMessage;
+use crate::GossipProtocol;
+
+/// Timer id used for round ticks.
+const ROUND_TIMER: u64 = 1;
+
+/// Per-node state of round-based gossip.
+pub struct RoundBasedGossip {
+    fanout: usize,
+    rounds: u32,
+    period: SimDuration,
+    rounds_left: u32,
+    buffered: Option<GossipMessage>,
+    received: bool,
+    receipt_hop: Option<u32>,
+    receipt_time: Option<SimTime>,
+    duplicates: u32,
+}
+
+impl RoundBasedGossip {
+    /// Creates the behaviour: on infection, gossip to `fanout` targets
+    /// each `period` for `rounds` rounds.
+    pub fn new(fanout: usize, rounds: u32, period: SimDuration) -> Self {
+        Self {
+            fanout,
+            rounds,
+            period,
+            rounds_left: 0,
+            buffered: None,
+            received: false,
+            receipt_hop: None,
+            receipt_time: None,
+            duplicates: 0,
+        }
+    }
+}
+
+impl NodeBehavior<GossipMessage> for RoundBasedGossip {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_, GossipMessage>, _from: NodeId, msg: GossipMessage) {
+        if self.received {
+            self.duplicates += 1;
+            return;
+        }
+        self.received = true;
+        self.receipt_hop = Some(msg.hop);
+        self.receipt_time = Some(ctx.now());
+        self.rounds_left = self.rounds;
+        self.buffered = Some(msg);
+        if self.rounds_left > 0 {
+            // First round fires immediately; later rounds are periodic.
+            ctx.set_timer(SimDuration::ZERO, ROUND_TIMER);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, GossipMessage>, id: u64) {
+        if id != ROUND_TIMER || self.rounds_left == 0 {
+            return;
+        }
+        self.rounds_left -= 1;
+        let msg = self
+            .buffered
+            .as_ref()
+            .expect("round timer only set after infection")
+            .forwarded();
+        let mut targets = Vec::with_capacity(self.fanout);
+        ctx.sample_targets(self.fanout, &mut targets);
+        for t in targets {
+            ctx.send(t, msg.clone());
+        }
+        if self.rounds_left > 0 {
+            ctx.set_timer(self.period, ROUND_TIMER);
+        }
+    }
+}
+
+impl GossipProtocol for RoundBasedGossip {
+    fn has_received(&self) -> bool {
+        self.received
+    }
+
+    fn receipt_hop(&self) -> Option<u32> {
+        self.receipt_hop
+    }
+
+    fn receipt_time(&self) -> Option<SimTime> {
+        self.receipt_time
+    }
+
+    fn duplicates(&self) -> u32 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageId;
+    use gossip_netsim::membership::FullView;
+    use gossip_netsim::{LatencyModel, NetworkConfig, Simulator};
+
+    fn rounds_sim(
+        n: usize,
+        fanout: usize,
+        rounds: u32,
+        seed: u64,
+    ) -> Simulator<GossipMessage, RoundBasedGossip> {
+        Simulator::new(
+            (0..n)
+                .map(|_| RoundBasedGossip::new(fanout, rounds, SimDuration::from_millis(10)))
+                .collect(),
+            NetworkConfig::new(LatencyModel::constant_millis(1)),
+            Box::new(FullView::new(n)),
+            seed,
+        )
+    }
+
+    #[test]
+    fn each_infected_node_sends_rounds_times_fanout() {
+        let mut sim = rounds_sim(40, 2, 3, 1);
+        sim.inject(0, 0, GossipMessage::new(MessageId(1), &b"m"[..]));
+        sim.run_to_quiescence();
+        let infected = sim.nodes().filter(|(_, b, _)| b.has_received()).count();
+        assert_eq!(sim.metrics().messages_sent as usize, infected * 2 * 3);
+    }
+
+    #[test]
+    fn more_rounds_beat_one_shot() {
+        // Same per-round fanout; 4 rounds reach (weakly) more nodes than
+        // 1 round on the same seed set.
+        let reached = |rounds: u32| {
+            let mut total = 0usize;
+            for seed in 0..10u64 {
+                let mut sim = rounds_sim(200, 1, rounds, seed);
+                sim.inject(0, 0, GossipMessage::new(MessageId(1), &b"m"[..]));
+                sim.run_to_quiescence();
+                total += sim.nodes().filter(|(_, b, _)| b.has_received()).count();
+            }
+            total
+        };
+        let one = reached(1);
+        let four = reached(4);
+        assert!(four > one, "4 rounds ({four}) must beat 1 round ({one})");
+    }
+
+    #[test]
+    fn zero_rounds_never_relays() {
+        let mut sim = rounds_sim(10, 3, 0, 2);
+        sim.inject(0, 0, GossipMessage::new(MessageId(1), &b"m"[..]));
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics().messages_sent, 0);
+        assert_eq!(
+            sim.nodes().filter(|(_, b, _)| b.has_received()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn rounds_are_spaced_by_period() {
+        let mut sim = rounds_sim(5, 1, 3, 3);
+        sim.inject(0, 0, GossipMessage::new(MessageId(1), &b"m"[..]));
+        sim.run_to_quiescence();
+        // Quiescence no earlier than 2 periods after infection (3 rounds:
+        // t=0, t=10ms, t=20ms) plus 1ms delivery.
+        assert!(sim.metrics().last_event_time.as_nanos() >= 20_000_000);
+    }
+}

@@ -1,0 +1,185 @@
+//! Component census of undirected graphs.
+//!
+//! Giant-component size is the paper's reliability proxy; the
+//! second-largest component and the susceptibility (mean squared finite-
+//! component size) locate the phase transition empirically (paper §3:
+//! giant ~ n^{2/3} at the transition, others at most ~ n^{2/3}/2).
+
+use crate::graph::Graph;
+use crate::unionfind::UnionFind;
+
+/// Summary of the component structure of a graph (optionally restricted
+/// to a node subset).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComponentCensus {
+    /// Number of nodes considered (all, or the occupied subset).
+    pub nodes: usize,
+    /// Number of components among considered nodes.
+    pub count: usize,
+    /// Size of the largest component (0 when `nodes == 0`).
+    pub largest: usize,
+    /// Size of the second-largest component.
+    pub second_largest: usize,
+    /// Mean size over all components.
+    pub mean_size: f64,
+    /// Susceptibility: `Σ s² / Σ s` over components *excluding* the
+    /// largest — diverging susceptibility marks the phase transition.
+    pub susceptibility: f64,
+}
+
+impl ComponentCensus {
+    /// Largest component as a fraction of considered nodes.
+    pub fn largest_fraction(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.largest as f64 / self.nodes as f64
+        }
+    }
+
+    fn from_sizes(mut sizes: Vec<u32>, nodes: usize) -> Self {
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let largest = sizes.first().copied().unwrap_or(0) as usize;
+        let second_largest = sizes.get(1).copied().unwrap_or(0) as usize;
+        let count = sizes.len();
+        let mean_size = if count == 0 {
+            0.0
+        } else {
+            nodes as f64 / count as f64
+        };
+        // Susceptibility over finite (non-giant) components.
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for &s in sizes.iter().skip(1) {
+            let s = s as f64;
+            sum += s;
+            sum_sq += s * s;
+        }
+        let susceptibility = if sum > 0.0 { sum_sq / sum } else { 0.0 };
+        Self {
+            nodes,
+            count,
+            largest,
+            second_largest,
+            mean_size,
+            susceptibility,
+        }
+    }
+}
+
+/// Census over **all** nodes of `g`.
+pub fn census(g: &Graph) -> ComponentCensus {
+    let n = g.node_count();
+    let mut uf = UnionFind::new(n);
+    for a in 0..n as u32 {
+        for &b in g.neighbors(a) {
+            if a < b {
+                uf.union(a, b);
+            }
+        }
+    }
+    ComponentCensus::from_sizes(uf.component_sizes(), n)
+}
+
+/// Census over the subgraph induced by `occupied` nodes: only edges with
+/// both endpoints occupied connect, and unoccupied nodes are not counted.
+///
+/// This is empirical site percolation — the graph-level meaning of the
+/// paper's nonfailed ratio `q`.
+pub fn census_occupied(g: &Graph, occupied: &[bool]) -> ComponentCensus {
+    let n = g.node_count();
+    assert_eq!(occupied.len(), n, "occupancy mask length must equal n");
+    let mut uf = UnionFind::new(n);
+    for a in 0..n as u32 {
+        if !occupied[a as usize] {
+            continue;
+        }
+        for &b in g.neighbors(a) {
+            if a < b && occupied[b as usize] {
+                uf.union(a, b);
+            }
+        }
+    }
+    // Collect sizes only for occupied roots.
+    let mut sizes = Vec::new();
+    let mut occupied_count = 0usize;
+    for v in 0..n as u32 {
+        if occupied[v as usize] {
+            occupied_count += 1;
+            if uf.find(v) == v {
+                sizes.push(uf.size_of(v));
+            }
+        }
+    }
+    ComponentCensus::from_sizes(sizes, occupied_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_of_two_triangles_and_isolate() {
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        );
+        let c = census(&g);
+        assert_eq!(c.nodes, 7);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.largest, 3);
+        assert_eq!(c.second_largest, 3);
+        assert!((c.mean_size - 7.0 / 3.0).abs() < 1e-12);
+        assert!((c.largest_fraction() - 3.0 / 7.0).abs() < 1e-12);
+        // Susceptibility over non-giant components: sizes {3, 1} →
+        // (9 + 1)/(3 + 1) = 2.5.
+        assert!((c.susceptibility - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn census_occupied_restricts() {
+        // Path 0-1-2-3; occupying all but node 1 splits it.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let occ = [true, false, true, true];
+        let c = census_occupied(&g, &occ);
+        assert_eq!(c.nodes, 3);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.largest, 2); // {2,3}
+        assert_eq!(c.second_largest, 1); // {0}
+    }
+
+    #[test]
+    fn fully_unoccupied() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let c = census_occupied(&g, &[false, false, false]);
+        assert_eq!(c.nodes, 0);
+        assert_eq!(c.count, 0);
+        assert_eq!(c.largest, 0);
+        assert_eq!(c.largest_fraction(), 0.0);
+    }
+
+    #[test]
+    fn occupied_equals_full_when_all_true() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let full = census(&g);
+        let occ = census_occupied(&g, &[true; 5]);
+        assert_eq!(full, occ);
+    }
+
+    #[test]
+    fn empty_graph_census() {
+        let g = Graph::from_edges(0, &[]);
+        let c = census(&g);
+        assert_eq!(c.nodes, 0);
+        assert_eq!(c.count, 0);
+        assert_eq!(c.mean_size, 0.0);
+        assert_eq!(c.susceptibility, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy mask length")]
+    fn rejects_wrong_mask_length() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        census_occupied(&g, &[true]);
+    }
+}

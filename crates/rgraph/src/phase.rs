@@ -1,0 +1,132 @@
+//! Empirical location of the percolation phase transition.
+//!
+//! Validates the paper's critical point `q_c = 1/G1'(1)` (Eq. 3, Eq. 10
+//! for Poisson): sweep `q`, run Monte-Carlo site percolation at each
+//! value, and locate the transition by the peak of the second-largest
+//! component (the standard finite-size estimator — the susceptibility
+//! proxy that is maximal exactly at the transition).
+
+use gossip_model::distribution::FanoutDistribution;
+use gossip_stats::rng::{SplitMix64, Xoshiro256StarStar};
+
+use crate::configuration::ConfigurationModel;
+use crate::percolation_sim::percolate_many;
+
+/// One point of a phase scan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhasePoint {
+    /// Occupation (nonfailed) probability.
+    pub q: f64,
+    /// Mean giant-component fraction of occupied nodes.
+    pub reliability: f64,
+    /// Mean second-largest-component fraction (peaks at q_c).
+    pub second_fraction: f64,
+    /// Mean susceptibility of finite components.
+    pub susceptibility: f64,
+}
+
+/// Result of a phase scan over `q`.
+#[derive(Clone, Debug)]
+pub struct PhaseScan {
+    /// The scanned points, in increasing `q`.
+    pub points: Vec<PhasePoint>,
+    /// Estimated critical point: `q` of the second-fraction peak.
+    pub estimated_qc: f64,
+}
+
+/// Scans occupation probabilities `qs` on a fresh configuration-model
+/// graph per replication (graph disorder is averaged out, as in the
+/// paper's simulations).
+///
+/// `reps` graphs × 1 percolation each per `q` point. Deterministic in
+/// `base_seed`.
+pub fn scan_configuration_model<D: FanoutDistribution + ?Sized>(
+    dist: &D,
+    n: usize,
+    qs: &[f64],
+    reps: usize,
+    base_seed: u64,
+) -> PhaseScan {
+    assert!(!qs.is_empty(), "need at least one q value");
+    let mut points = Vec::with_capacity(qs.len());
+    for (qi, &q) in qs.iter().enumerate() {
+        let mut rel = 0.0;
+        let mut second = 0.0;
+        let mut susc = 0.0;
+        for rep in 0..reps {
+            // Independent graph and percolation pattern per replication.
+            let graph_seed = SplitMix64::derive(base_seed, (qi * reps + rep) as u64 * 2);
+            let perc_seed = SplitMix64::derive(base_seed, (qi * reps + rep) as u64 * 2 + 1);
+            let g = ConfigurationModel::new(dist, n)
+                .generate(&mut Xoshiro256StarStar::new(graph_seed));
+            let stats = percolate_many(&g, q, &[], 1, perc_seed);
+            rel += stats.reliability.mean();
+            second += stats.second_fraction.mean();
+            susc += stats.susceptibility.mean();
+        }
+        let r = reps as f64;
+        points.push(PhasePoint {
+            q,
+            reliability: rel / r,
+            second_fraction: second / r,
+            susceptibility: susc / r,
+        });
+    }
+    let estimated_qc = points
+        .iter()
+        .max_by(|a, b| {
+            a.second_fraction
+                .partial_cmp(&b.second_fraction)
+                .expect("fractions are finite")
+        })
+        .map(|p| p.q)
+        .expect("non-empty scan");
+    PhaseScan {
+        points,
+        estimated_qc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::distribution::PoissonFanout;
+
+    #[test]
+    fn poisson_transition_near_one_over_z() {
+        // Po(4): q_c = 0.25. A coarse scan on 4000-node graphs should put
+        // the second-component peak within ±0.08 of it.
+        let dist = PoissonFanout::new(4.0);
+        let qs: Vec<f64> = (1..=12).map(|i| i as f64 * 0.05).collect(); // 0.05..0.60
+        let scan = scan_configuration_model(&dist, 4000, &qs, 4, 2024);
+        assert!(
+            (scan.estimated_qc - 0.25).abs() <= 0.08,
+            "estimated q_c = {} (expected ≈ 0.25)",
+            scan.estimated_qc
+        );
+        // Reliability should be ~0 well below and large well above.
+        let below = &scan.points[0]; // q = 0.05
+        let above = scan.points.last().unwrap(); // q = 0.60
+        assert!(below.reliability < 0.05, "below: {}", below.reliability);
+        assert!(above.reliability > 0.5, "above: {}", above.reliability);
+    }
+
+    #[test]
+    fn scan_is_deterministic() {
+        let dist = PoissonFanout::new(3.0);
+        let qs = [0.2, 0.4, 0.6];
+        let a = scan_configuration_model(&dist, 500, &qs, 2, 7);
+        let b = scan_configuration_model(&dist, 500, &qs, 2, 7);
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.reliability, pb.reliability);
+        }
+        assert_eq!(a.estimated_qc, b.estimated_qc);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one q value")]
+    fn rejects_empty_scan() {
+        let dist = PoissonFanout::new(3.0);
+        scan_configuration_model(&dist, 100, &[], 1, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Directed reachability: who actually receives the message.
+//!
+//! The message starts at the source and crosses an arc `v → w` only if
+//! `v` is nonfailed (failed members never forward — the paper's fail-stop
+//! semantics collapses both crash timings to exactly this rule). The set
+//! of reached members, intersected with the nonfailed members, gives the
+//! simulated reliability `n_rece / n_nonfailed` of §4.2.
+
+use crate::digraph::Digraph;
+use crate::gossip_graph::GossipGraph;
+
+/// Outcome of one reachability run over a gossip graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReachOutcome {
+    /// `reached[v]` — whether member `v` received the message (failed
+    /// members can receive; they just never forward).
+    pub reached: Vec<bool>,
+    /// Number of nonfailed members that received the message (`n_rece`).
+    pub nonfailed_reached: usize,
+    /// Number of nonfailed members in total (`n_nonfailed`).
+    pub nonfailed_total: usize,
+    /// Total messages sent = arcs traversed from nonfailed reached nodes.
+    pub messages_sent: usize,
+}
+
+impl ReachOutcome {
+    /// Simulated reliability `n_rece / n_nonfailed` (paper §4.2).
+    pub fn reliability(&self) -> f64 {
+        if self.nonfailed_total == 0 {
+            return 0.0;
+        }
+        self.nonfailed_reached as f64 / self.nonfailed_total as f64
+    }
+
+    /// Success of gossiping: every nonfailed member received the message.
+    pub fn is_success(&self) -> bool {
+        self.nonfailed_reached == self.nonfailed_total
+    }
+}
+
+/// Breadth-first reach over a gossip graph (source + crash pattern
+/// bundled).
+pub fn reach(gossip: &GossipGraph) -> ReachOutcome {
+    reach_from(&gossip.digraph, &gossip.failed, gossip.source)
+}
+
+/// Breadth-first reach from `source` on `digraph`, where `failed` nodes
+/// absorb but never forward.
+pub fn reach_from(digraph: &Digraph, failed: &[bool], source: u32) -> ReachOutcome {
+    let n = digraph.node_count();
+    assert_eq!(failed.len(), n, "failure mask length must equal node count");
+    assert!((source as usize) < n, "source out of range");
+    assert!(!failed[source as usize], "the source must be nonfailed");
+
+    let mut reached = vec![false; n];
+    let mut queue = Vec::with_capacity(n / 4 + 1);
+    let mut messages_sent = 0usize;
+    reached[source as usize] = true;
+    queue.push(source);
+    // `queue` doubles as BFS frontier storage: a cursor walks it in
+    // place, so the whole traversal allocates twice (reached + queue).
+    let mut cursor = 0usize;
+    while cursor < queue.len() {
+        let v = queue[cursor];
+        cursor += 1;
+        if failed[v as usize] {
+            continue; // received, but crashes before forwarding
+        }
+        let outs = digraph.out_neighbors(v);
+        messages_sent += outs.len();
+        for &w in outs {
+            if !reached[w as usize] {
+                reached[w as usize] = true;
+                queue.push(w);
+            }
+        }
+    }
+
+    let mut nonfailed_reached = 0usize;
+    let mut nonfailed_total = 0usize;
+    for v in 0..n {
+        if !failed[v] {
+            nonfailed_total += 1;
+            if reached[v] {
+                nonfailed_reached += 1;
+            }
+        }
+    }
+    ReachOutcome {
+        reached,
+        nonfailed_reached,
+        nonfailed_total,
+        messages_sent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_digraph(n: usize) -> Digraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Digraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn full_line_reaches_everyone() {
+        let g = line_digraph(5);
+        let out = reach_from(&g, &[false; 5], 0);
+        assert_eq!(out.nonfailed_reached, 5);
+        assert!(out.is_success());
+        assert_eq!(out.reliability(), 1.0);
+        assert_eq!(out.messages_sent, 4);
+    }
+
+    #[test]
+    fn failed_node_blocks_forwarding_but_receives() {
+        // 0 → 1 → 2; node 1 failed: it receives but never forwards.
+        let g = line_digraph(3);
+        let failed = [false, true, false];
+        let out = reach_from(&g, &failed, 0);
+        assert!(out.reached[1], "failed node still receives");
+        assert!(!out.reached[2], "message must not pass through a crash");
+        assert_eq!(out.nonfailed_total, 2); // nodes 0 and 2
+        assert_eq!(out.nonfailed_reached, 1); // only the source
+        assert!((out.reliability() - 0.5).abs() < 1e-15);
+        assert!(!out.is_success());
+    }
+
+    #[test]
+    fn unreachable_branch() {
+        // 0 → 1, 2 → 3: second pair disconnected from source.
+        let g = Digraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let out = reach_from(&g, &[false; 4], 0);
+        assert_eq!(out.nonfailed_reached, 2);
+        assert!((out.reliability() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn source_only_group() {
+        let g = Digraph::from_edges(3, &[]);
+        let out = reach_from(&g, &[false, true, true], 0);
+        assert_eq!(out.nonfailed_total, 1);
+        assert_eq!(out.nonfailed_reached, 1);
+        assert!(out.is_success(), "source alone counts as total success");
+        assert_eq!(out.messages_sent, 0);
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let g = Digraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let out = reach_from(&g, &[false; 3], 0);
+        assert_eq!(out.nonfailed_reached, 3);
+        assert_eq!(out.messages_sent, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "source must be nonfailed")]
+    fn rejects_failed_source() {
+        let g = line_digraph(2);
+        reach_from(&g, &[true, false], 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Disjoint-set forest (union-find) with path halving and union by size.
+//!
+//! The workhorse behind every component census in this crate. Both
+//! optimizations together give effectively-constant amortized operations;
+//! `u32` parent indices keep the structure cache-friendly for the
+//! million-node graphs in the phase-transition scans.
+
+/// Disjoint-set forest over elements `0..len`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    /// Parent pointer per element; roots point at themselves.
+    parent: Vec<u32>,
+    /// Component size, valid only at roots.
+    size: Vec<u32>,
+    /// Number of disjoint sets.
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "union-find limited to u32 indices");
+        Self {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure tracks no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    #[inline]
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the set representative of `x`, halving the path on the way.
+    #[inline]
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        debug_assert!((x as usize) < self.parent.len());
+        // Path halving: point every other node at its grandparent.
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let mut ra = self.find(a);
+        let mut rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        // Union by size: attach the smaller tree under the larger.
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn size_of(&mut self, x: u32) -> u32 {
+        let root = self.find(x);
+        self.size[root as usize]
+    }
+
+    /// Size of the largest set.
+    pub fn largest(&mut self) -> u32 {
+        let len = self.len();
+        let mut best = 0u32;
+        for x in 0..len as u32 {
+            if self.parent[x as usize] == x {
+                best = best.max(self.size[x as usize]);
+            }
+        }
+        best
+    }
+
+    /// Sizes of all sets, unordered.
+    pub fn component_sizes(&mut self) -> Vec<u32> {
+        let len = self.len();
+        let mut out = Vec::with_capacity(self.components);
+        for x in 0..len as u32 {
+            if self.parent[x as usize] == x {
+                out.push(self.size[x as usize]);
+            }
+        }
+        out
+    }
+
+    /// Resets to all-singletons without reallocating — the percolation
+    /// Monte Carlo reuses one structure across replications.
+    pub fn reset(&mut self) {
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.size.fill(1);
+        self.components = self.parent.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.size_of(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0), "repeat union returns false");
+        assert_eq!(uf.component_count(), 4);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 2));
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.size_of(3), 4);
+        assert_eq!(uf.largest(), 4);
+    }
+
+    #[test]
+    fn component_sizes_sum_to_len() {
+        let mut uf = UnionFind::new(10);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(5, 6);
+        let sizes = uf.component_sizes();
+        assert_eq!(sizes.iter().sum::<u32>(), 10);
+        assert_eq!(sizes.len(), uf.component_count());
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 1, 1, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_path_compression() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..(n as u32 - 1) {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert_eq!(uf.size_of(0), n as u32);
+        // After find, paths should be (mostly) flat — spot-check depth 1.
+        let root = uf.find(0);
+        assert_eq!(uf.find(n as u32 - 1), root);
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.reset();
+        assert_eq!(uf.component_count(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.size_of(2), 1);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+        assert_eq!(uf.largest(), 0);
+        assert!(uf.component_sizes().is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Walker/Vose alias method for O(1) sampling from a finite discrete
+//! distribution.
+//!
+//! The general gossiping algorithm lets each member draw its fanout from an
+//! *arbitrary* distribution `P` (paper §3, Fig. 1). For empirical or
+//! power-law fanout distributions the pmf is just a table; the alias method
+//! turns that table into constant-time samples, which matters when the
+//! simulator draws one fanout per infected member across millions of
+//! Monte-Carlo executions.
+
+use crate::rng::Xoshiro256StarStar;
+
+/// Precomputed alias table over outcomes `0..len`.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability for each cell.
+    prob: Vec<f64>,
+    /// Alias outcome for each cell.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from (possibly unnormalized) non-negative
+    /// weights. Panics on empty input, negative weights, or all-zero mass.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table limited to 2^32 outcomes"
+        );
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0, got {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "alias table needs positive total mass");
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        // Scaled probabilities; "small" cells have mass < 1, "large" > 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("small non-empty");
+            // Keep the donor on the large stack until it drops below 1;
+            // popping it eagerly would lose it if the other stack empties.
+            let l = *large.last().expect("large non-empty");
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            // The large cell donates the deficit of the small cell.
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for i in large.into_iter().chain(small) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never: construction forbids it,
+    /// provided for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome in `0..len` in O(1).
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> usize {
+        let cell = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[cell] {
+            cell
+        } else {
+            self.alias[cell] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut counts = vec![0u64; table.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0, 1.0]);
+        let freq = frequencies(&t, 200_000, 1);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights() {
+        let t = AliasTable::new(&[8.0, 1.0, 1.0]);
+        let freq = frequencies(&t, 200_000, 2);
+        assert!((freq[0] - 0.8).abs() < 0.01);
+        assert!((freq[1] - 0.1).abs() < 0.01);
+        assert!((freq[2] - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_outcome_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 3.0]);
+        let mut rng = Xoshiro256StarStar::new(3);
+        for _ in 0..50_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[2.5]);
+        let mut rng = Xoshiro256StarStar::new(4);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_equivalent() {
+        let a = AliasTable::new(&[0.2, 0.3, 0.5]);
+        let b = AliasTable::new(&[2.0, 3.0, 5.0]);
+        let fa = frequencies(&a, 300_000, 5);
+        let fb = frequencies(&b, 300_000, 5);
+        for (x, y) in fa.iter().zip(&fb) {
+            assert!((x - y).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total mass")]
+    fn rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn rejects_empty() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn rejects_negative() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Goodness-of-fit utilities.
+//!
+//! The paper's Figs. 6/7 claim the simulated success-count distribution
+//! "tallies with" `B(20, 0.967)`. We make that claim checkable: the
+//! integration tests run a Pearson chi-square test of the simulated
+//! histogram against the binomial pmf, and the figure binaries report the
+//! total-variation distance between the two.
+
+use crate::special::gamma_q;
+
+/// Result of a chi-square goodness-of-fit computation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChiSquareOutcome {
+    /// Pearson statistic Σ (O − E)² / E over the pooled cells.
+    pub statistic: f64,
+    /// Degrees of freedom after pooling (cells − 1).
+    pub dof: usize,
+    /// Upper-tail p-value `Q(dof/2, statistic/2)`.
+    pub p_value: f64,
+    /// Number of cells after low-expectation pooling.
+    pub cells: usize,
+}
+
+/// Pearson chi-square statistic for observed counts against expected
+/// counts. Slices must be the same length; no pooling is applied.
+pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected length mismatch"
+    );
+    observed
+        .iter()
+        .zip(expected)
+        .filter(|(_, &e)| e > 0.0)
+        .map(|(&o, &e)| {
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Full chi-square goodness-of-fit test of observed counts against a model
+/// pmf.
+///
+/// Cells whose expected count falls below `min_expected` (the classic rule
+/// of thumb is 5) are pooled with their right neighbour before computing
+/// the statistic, which keeps the chi-square approximation honest for
+/// sparse tails like the left side of `B(20, 0.967)`.
+pub fn chi_square_pvalue(observed: &[u64], model_pmf: &[f64], min_expected: f64) -> ChiSquareOutcome {
+    assert_eq!(observed.len(), model_pmf.len(), "length mismatch");
+    assert!(!observed.is_empty(), "need at least one cell");
+    let total: u64 = observed.iter().sum();
+    assert!(total > 0, "need at least one observation");
+    let pmf_sum: f64 = model_pmf.iter().sum();
+    assert!(
+        (pmf_sum - 1.0).abs() < 1e-6,
+        "model pmf must sum to 1 (got {pmf_sum})"
+    );
+
+    // Pool adjacent cells until every pooled cell has expectation >=
+    // min_expected (the final cell absorbs any small remainder).
+    let mut pooled_obs: Vec<f64> = Vec::with_capacity(observed.len());
+    let mut pooled_exp: Vec<f64> = Vec::with_capacity(observed.len());
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (&o, &p) in observed.iter().zip(model_pmf) {
+        acc_o += o as f64;
+        acc_e += p * total as f64;
+        if acc_e >= min_expected {
+            pooled_obs.push(acc_o);
+            pooled_exp.push(acc_e);
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        if let (Some(last_o), Some(last_e)) = (pooled_obs.last_mut(), pooled_exp.last_mut()) {
+            *last_o += acc_o;
+            *last_e += acc_e;
+        } else {
+            pooled_obs.push(acc_o);
+            pooled_exp.push(acc_e);
+        }
+    }
+
+    let cells = pooled_obs.len();
+    let statistic: f64 = pooled_obs
+        .iter()
+        .zip(&pooled_exp)
+        .map(|(&o, &e)| {
+            let d = o - e;
+            d * d / e
+        })
+        .sum();
+    let dof = cells.saturating_sub(1).max(1);
+    let p_value = gamma_q(dof as f64 / 2.0, statistic / 2.0);
+    ChiSquareOutcome {
+        statistic,
+        dof,
+        p_value,
+        cells,
+    }
+}
+
+/// Total-variation distance `½ Σ |p_k − q_k|` between two pmfs over the
+/// same support. A TV distance of 0.05 means the distributions disagree on
+/// at most 5% of probability mass.
+pub fn total_variation_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "pmf length mismatch");
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::Binomial;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn statistic_zero_when_exact() {
+        let observed = [10u64, 20, 30];
+        let expected = [10.0, 20.0, 30.0];
+        assert_eq!(chi_square_statistic(&observed, &expected), 0.0);
+    }
+
+    #[test]
+    fn statistic_known_value() {
+        // Classic die example: 60 rolls, observed [5,8,9,8,10,20].
+        let observed = [5u64, 8, 9, 8, 10, 20];
+        let expected = [10.0; 6];
+        let stat = chi_square_statistic(&observed, &expected);
+        assert!((stat - 13.4).abs() < 1e-12, "stat {stat}");
+    }
+
+    #[test]
+    fn matching_samples_pass_test() {
+        // Samples drawn *from* B(20, 0.7) should not be rejected.
+        let b = Binomial::new(20, 0.7);
+        let mut rng = Xoshiro256StarStar::new(42);
+        let mut observed = vec![0u64; 21];
+        for _ in 0..5000 {
+            observed[b.sample(&mut rng) as usize] += 1;
+        }
+        let pmf = b.pmf_vector();
+        let outcome = chi_square_pvalue(&observed, &pmf, 5.0);
+        assert!(
+            outcome.p_value > 0.001,
+            "true-model samples rejected: p = {}",
+            outcome.p_value
+        );
+    }
+
+    #[test]
+    fn wrong_model_fails_test() {
+        // Samples from B(20, 0.5) tested against B(20, 0.7) must be
+        // overwhelmingly rejected.
+        let true_dist = Binomial::new(20, 0.5);
+        let wrong_model = Binomial::new(20, 0.7);
+        let mut rng = Xoshiro256StarStar::new(43);
+        let mut observed = vec![0u64; 21];
+        for _ in 0..5000 {
+            observed[true_dist.sample(&mut rng) as usize] += 1;
+        }
+        let outcome = chi_square_pvalue(&observed, &wrong_model.pmf_vector(), 5.0);
+        assert!(
+            outcome.p_value < 1e-10,
+            "wrong model not rejected: p = {}",
+            outcome.p_value
+        );
+    }
+
+    #[test]
+    fn pooling_reduces_cells() {
+        let b = Binomial::new(20, 0.967);
+        let pmf = b.pmf_vector();
+        // 100 observations all at 19/20 — the realistic Fig. 6 situation.
+        let mut observed = vec![0u64; 21];
+        observed[19] = 35;
+        observed[20] = 65;
+        let outcome = chi_square_pvalue(&observed, &pmf, 5.0);
+        assert!(outcome.cells < 21, "low-expectation cells must be pooled");
+        assert!(outcome.dof >= 1);
+    }
+
+    #[test]
+    fn tv_distance_properties() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        assert!((total_variation_distance(&p, &q) - 0.5).abs() < 1e-15);
+        assert_eq!(total_variation_distance(&p, &p), 0.0);
+        // Symmetry.
+        assert_eq!(
+            total_variation_distance(&p, &q),
+            total_variation_distance(&q, &p)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn tv_rejects_mismatch() {
+        total_variation_distance(&[1.0], &[0.5, 0.5]);
+    }
+}

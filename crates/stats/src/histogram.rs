@@ -1,0 +1,188 @@
+//! Integer histograms.
+//!
+//! Figures 6 and 7 of the paper report `Pr(X = k)` for `k = 0..=20`, where
+//! `X` counts gossip successes among 20 executions, estimated over 100
+//! simulations. [`IntHistogram`] is the accumulator behind those bars.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram over the non-negative integers `0..=max_value`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// Creates a histogram covering `0..=max_value`.
+    pub fn new(max_value: usize) -> Self {
+        Self {
+            counts: vec![0; max_value + 1],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram from samples; values above `max_value` are
+    /// clamped into the last bucket.
+    pub fn from_samples(max_value: usize, samples: impl IntoIterator<Item = u64>) -> Self {
+        let mut h = Self::new(max_value);
+        for s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    /// Records one observation (clamped to the top bucket).
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of buckets (`max_value + 1`).
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations recorded.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw count in bucket `k` (0 if out of range).
+    pub fn count(&self, k: usize) -> u64 {
+        self.counts.get(k).copied().unwrap_or(0)
+    }
+
+    /// All raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Empirical probability `Pr(X = k)`; 0 for an empty histogram.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.count(k) as f64 / self.total as f64
+    }
+
+    /// The full empirical pmf as a vector aligned with bucket indices.
+    pub fn pmf_vector(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| self.pmf_of(c)).collect()
+    }
+
+    fn pmf_of(&self, c: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            c as f64 / self.total as f64
+        }
+    }
+
+    /// Empirical mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as f64 * c as f64)
+            .sum();
+        weighted / self.total as f64
+    }
+
+    /// Index of the most frequent bucket (smallest index on ties).
+    pub fn mode(&self) -> usize {
+        let mut best = 0usize;
+        for (k, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Merges another histogram with the same bucket count.
+    pub fn merge(&mut self, other: &IntHistogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge histograms with different bucket counts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_pmf() {
+        let mut h = IntHistogram::new(5);
+        for v in [0u64, 1, 1, 2, 2, 2, 5, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.count(2), 3);
+        assert!((h.pmf(2) - 3.0 / 8.0).abs() < 1e-15);
+        assert_eq!(h.mode(), 2);
+        let pmf = h.pmf_vector();
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_above_max() {
+        let mut h = IntHistogram::new(3);
+        h.record(100);
+        h.record(3);
+        assert_eq!(h.count(3), 2);
+    }
+
+    #[test]
+    fn mean_of_point_mass() {
+        let h = IntHistogram::from_samples(20, std::iter::repeat(20).take(10));
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.mode(), 20);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = IntHistogram::new(4);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.pmf(0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.mode(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = IntHistogram::from_samples(4, [0u64, 1, 2]);
+        let b = IntHistogram::from_samples(4, [2u64, 3, 4]);
+        a.merge(&b);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.count(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket counts")]
+    fn merge_rejects_mismatched() {
+        let mut a = IntHistogram::new(3);
+        let b = IntHistogram::new(4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn out_of_range_count_is_zero() {
+        let h = IntHistogram::new(2);
+        assert_eq!(h.count(99), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The Poisson distribution `Po(λ)`.
+//!
+//! The paper's case study (§4.3) specializes the fanout distribution to
+//! `Po(z)`; the simulator draws per-member fanouts from this sampler, and
+//! the analytic side needs the pmf for generating-function truncation and
+//! the CDF (via the regularized incomplete gamma) for tail bounds.
+
+use crate::rng::Xoshiro256StarStar;
+use crate::special::{gamma_q, ln_factorial};
+
+/// Poisson distribution with rate `λ > 0` (also defined for `λ = 0` as the
+/// point mass at 0, which the fanout sweeps occasionally touch).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates `Po(λ)`. Panics if `λ` is negative or non-finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "poisson lambda must be finite and >= 0, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// The rate (and mean, and variance) `λ`.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean `λ`.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Variance `λ`.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Log probability mass `ln P(X = k) = −λ + k ln λ − ln k!`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        -self.lambda + k as f64 * self.lambda.ln() - ln_factorial(k)
+    }
+
+    /// Probability mass `P(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Cumulative distribution `P(X ≤ k) = Q(k + 1, λ)` (regularized upper
+    /// incomplete gamma).
+    pub fn cdf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return 1.0;
+        }
+        gamma_q(k as f64 + 1.0, self.lambda)
+    }
+
+    /// Survival function `P(X > k)`.
+    pub fn sf(&self, k: u64) -> f64 {
+        1.0 - self.cdf(k)
+    }
+
+    /// Smallest `k` such that the tail mass `P(X > k)` falls below `eps` —
+    /// used to truncate generating-function series.
+    pub fn truncation_point(&self, eps: f64) -> u64 {
+        assert!(eps > 0.0, "truncation eps must be positive");
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        // Start from mean + 10σ and walk outward if needed; the Poisson
+        // tail decays super-exponentially so this terminates immediately
+        // in practice.
+        let mut k = (self.lambda + 10.0 * self.lambda.sqrt()).ceil() as u64 + 10;
+        while self.sf(k) > eps {
+            k = k * 2 + 10;
+        }
+        // Walk back to tighten.
+        while k > 0 && self.sf(k - 1) <= eps {
+            k -= 1;
+        }
+        k
+    }
+
+    /// Draws one sample.
+    ///
+    /// For `λ < 30` this is Knuth's product-of-uniforms method (exact, fast
+    /// at small rates — the regime of gossip fanouts, z ∈ [1, 10]). For
+    /// larger rates it splits λ into halves recursively, keeping exactness
+    /// without needing a rejection sampler; the recursion depth is
+    /// `log2(λ/30)`, negligible for any realistic fanout.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        sample_rate(self.lambda, rng)
+    }
+}
+
+fn sample_rate(lambda: f64, rng: &mut Xoshiro256StarStar) -> u64 {
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        // Knuth: count uniforms until their product drops below e^{−λ}.
+        let limit = (-lambda).exp();
+        let mut product = rng.next_f64();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.next_f64();
+            count += 1;
+        }
+        count
+    } else {
+        // Po(λ) = Po(λ/2) + Po(λ/2) by infinite divisibility.
+        let half = lambda / 2.0;
+        sample_rate(half, rng) + sample_rate(half, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &lambda in &[0.5, 1.0, 4.0, 6.0, 25.0] {
+            let p = Poisson::new(lambda);
+            let kmax = p.truncation_point(1e-14);
+            let total: f64 = (0..=kmax).map(|k| p.pmf(k)).sum();
+            assert!(close(total, 1.0, 1e-10), "λ={lambda}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        // Po(4): P(0) = e^{-4} ≈ 0.018316, P(4) ≈ 0.195367.
+        let p = Poisson::new(4.0);
+        assert!(close(p.pmf(0), (-4.0f64).exp(), 1e-14));
+        assert!(close(p.pmf(4), 0.195_366_8, 1e-6));
+        // Po(1): P(1) = e^{-1}.
+        let p1 = Poisson::new(1.0);
+        assert!(close(p1.pmf(1), (-1.0f64).exp(), 1e-14));
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let p = Poisson::new(6.0);
+        let mut acc = 0.0;
+        for k in 0..=30u64 {
+            acc += p.pmf(k);
+            assert!(
+                close(p.cdf(k), acc, 1e-10),
+                "cdf({k}) = {} vs {}",
+                p.cdf(k),
+                acc
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_point_bounds_tail() {
+        for &lambda in &[1.1, 4.0, 6.7, 50.0] {
+            let p = Poisson::new(lambda);
+            let k = p.truncation_point(1e-12);
+            assert!(p.sf(k) <= 1e-12);
+            if k > 0 {
+                assert!(p.sf(k - 1) > 1e-12, "truncation not tight at λ={lambda}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_moments_small_lambda() {
+        let p = Poisson::new(4.0);
+        let mut rng = Xoshiro256StarStar::new(2024);
+        let n = 100_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = p.sample(&mut rng) as f64;
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 4.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sampler_moments_large_lambda() {
+        let p = Poisson::new(120.0);
+        let mut rng = Xoshiro256StarStar::new(17);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += p.sample(&mut rng) as f64;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 120.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn sampler_distribution_chi_square_sanity() {
+        // Compare sampled frequencies of Po(2) against the pmf by hand.
+        let p = Poisson::new(2.0);
+        let mut rng = Xoshiro256StarStar::new(5);
+        let n = 50_000usize;
+        let mut counts = vec![0u64; 12];
+        for _ in 0..n {
+            let x = p.sample(&mut rng) as usize;
+            let idx = x.min(counts.len() - 1);
+            counts[idx] += 1;
+        }
+        for k in 0..8 {
+            let expected = p.pmf(k as u64) * n as f64;
+            let got = counts[k] as f64;
+            assert!(
+                (got - expected).abs() < 5.0 * expected.sqrt() + 5.0,
+                "k={k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_lambda_is_point_mass() {
+        let p = Poisson::new(0.0);
+        assert_eq!(p.pmf(0), 1.0);
+        assert_eq!(p.pmf(3), 0.0);
+        assert_eq!(p.cdf(0), 1.0);
+        assert_eq!(p.sample(&mut Xoshiro256StarStar::new(9)), 0);
+        assert_eq!(p.truncation_point(1e-9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisson lambda must be finite")]
+    fn rejects_negative_lambda() {
+        Poisson::new(-1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the statistics substrate.
+
+use gossip_stats::alias::AliasTable;
+use gossip_stats::binomial::Binomial;
+use gossip_stats::descriptive::OnlineStats;
+use gossip_stats::gof::total_variation_distance;
+use gossip_stats::poisson::Poisson;
+use gossip_stats::rng::{SplitMix64, Xoshiro256StarStar};
+use gossip_stats::special::{beta_inc, gamma_p, gamma_q, ln_choose, ln_gamma};
+use proptest::prelude::*;
+
+proptest! {
+    /// ln Γ satisfies the recurrence Γ(x+1) = x·Γ(x).
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "x = {x}");
+    }
+
+    /// P(a, x) + Q(a, x) = 1 and both lie in [0, 1].
+    #[test]
+    fn incomplete_gamma_complement(a in 0.1f64..80.0, x in 0.0f64..120.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&q));
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+    }
+
+    /// P(a, ·) is monotone non-decreasing in x.
+    #[test]
+    fn gamma_p_monotone(a in 0.2f64..40.0, x in 0.0f64..60.0, dx in 0.0f64..5.0) {
+        prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-12);
+    }
+
+    /// Incomplete beta is a CDF in x: monotone, 0 at 0, 1 at 1.
+    #[test]
+    fn beta_inc_is_cdf(a in 0.2f64..20.0, b in 0.2f64..20.0, x in 0.0f64..1.0, dx in 0.0f64..0.2) {
+        let hi = (x + dx).min(1.0);
+        prop_assert!(beta_inc(a, b, hi) >= beta_inc(a, b, x) - 1e-9);
+        prop_assert_eq!(beta_inc(a, b, 0.0), 0.0);
+        prop_assert_eq!(beta_inc(a, b, 1.0), 1.0);
+    }
+
+    /// Pascal's rule in log space: C(n,k) = C(n−1,k−1) + C(n−1,k).
+    #[test]
+    fn pascal_rule(n in 1u64..60, k in 1u64..60) {
+        prop_assume!(k <= n);
+        let lhs = ln_choose(n, k).exp();
+        let rhs = if k == n {
+            ln_choose(n - 1, k - 1).exp()
+        } else {
+            ln_choose(n - 1, k - 1).exp() + ln_choose(n - 1, k).exp()
+        };
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs), "C({n},{k})");
+    }
+
+    /// Binomial pmf sums to 1 and cdf is its running sum.
+    #[test]
+    fn binomial_pmf_cdf_consistent(n in 1u64..80, p in 0.0f64..1.0) {
+        let b = Binomial::new(n, p);
+        let pmf = b.pmf_vector();
+        let total: f64 = pmf.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        let mut acc = 0.0;
+        for (k, &m) in pmf.iter().enumerate() {
+            acc += m;
+            prop_assert!((b.cdf(k as u64) - acc).abs() < 1e-8, "cdf({k})");
+        }
+    }
+
+    /// Poisson samples never stray absurdly far from the mean, and the
+    /// sample mean over a batch is close to λ.
+    #[test]
+    fn poisson_sampling_sane(lambda in 0.1f64..60.0, seed in 0u64..1000) {
+        let d = Poisson::new(lambda);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let n = 2000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng) as f64;
+            prop_assert!(x < lambda + 20.0 * lambda.sqrt() + 30.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        prop_assert!(
+            (mean - lambda).abs() < 6.0 * (lambda / n as f64).sqrt() + 0.05,
+            "mean {mean} vs λ {lambda}"
+        );
+    }
+
+    /// Alias tables reproduce their weight vector in TV distance.
+    #[test]
+    fn alias_matches_weights(
+        weights in proptest::collection::vec(0.0f64..5.0, 1..12),
+        seed in 0u64..200,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.5);
+        let table = AliasTable::new(&weights);
+        let total: f64 = weights.iter().sum();
+        let target: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let draws = 30_000;
+        let mut counts = vec![0.0f64; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1.0;
+        }
+        for c in &mut counts {
+            *c /= draws as f64;
+        }
+        let tv = total_variation_distance(&counts, &target);
+        prop_assert!(tv < 0.03, "TV = {tv}");
+    }
+
+    /// Merging OnlineStats equals pushing everything into one.
+    #[test]
+    fn online_stats_merge_associates(
+        xs in proptest::collection::vec(-1e3f64..1e3, 0..60),
+        split in 0usize..60,
+    ) {
+        let split = split.min(xs.len());
+        let whole = OnlineStats::from_slice(&xs);
+        let mut left = OnlineStats::from_slice(&xs[..split]);
+        let right = OnlineStats::from_slice(&xs[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    /// Seed derivation is injective-ish: distinct indices give distinct
+    /// seeds (collision would break replication independence).
+    #[test]
+    fn seed_derivation_distinct(base in 0u64..u64::MAX, i in 0u64..10_000, j in 0u64..10_000) {
+        prop_assume!(i != j);
+        prop_assert_ne!(SplitMix64::derive(base, i), SplitMix64::derive(base, j));
+    }
+}

@@ -1,0 +1,59 @@
+//! Capacity planning with the inverse model: given a reliability target
+//! and an expected failure level, size the fanout and the number of
+//! executions — the design loop the paper's Eqs. 10-12 enable.
+//!
+//! ```sh
+//! cargo run --release -p gossip-examples --bin fanout_planning
+//! ```
+
+use gossip_model::distribution::{GeometricFanout, PoissonFanout};
+use gossip_model::{design, poisson_case, success};
+use gossip_protocol::engine::ExecutionConfig;
+use gossip_protocol::experiment;
+
+fn main() {
+    // Requirements from the (hypothetical) application:
+    let target_reliability = 0.99; // each execution reaches 99% of survivors
+    let expected_failures = 0.20; // up to 20% of members down
+    let target_success = 0.9999; // whole-group delivery guarantee
+    let n = 5_000;
+
+    let q = 1.0 - expected_failures;
+    println!("requirements: R ≥ {target_reliability}, failures ≤ {expected_failures}, Pr(success) ≥ {target_success}, n = {n}\n");
+
+    // Step 1 — Poisson fanout via the closed form (paper Eq. 12).
+    let z = poisson_case::mean_fanout_for(target_reliability, q).expect("valid target");
+    println!("Eq. 12: Poisson mean fanout z = {z:.3}");
+
+    // Step 2 — how many failures does that fanout actually tolerate at
+    // the target reliability? (the paper's headline derivation)
+    let eps = poisson_case::max_tolerable_failure(z, target_reliability).expect("achievable");
+    println!("max tolerable failure ratio at z = {z:.3}: {:.1}%", eps * 100.0);
+
+    // Step 3 — executions for the group-wide guarantee (Eq. 6).
+    let t = success::required_executions(target_reliability, target_success).expect("achievable");
+    println!("Eq. 6: t = {t} executions for Pr(success) ≥ {target_success}");
+
+    // Step 4 — suppose the deployment's relays actually behave
+    // geometrically (heavy-tailed). The general design machinery sizes
+    // that family too — no closed form needed.
+    let geo_mean = design::required_scale(
+        GeometricFanout::with_mean,
+        q,
+        target_reliability,
+        0.5,
+        200.0,
+    )
+    .expect("achievable in bracket");
+    println!("geometric fanout needs mean {geo_mean:.2} (vs Poisson {z:.2}) — heavy tails cost messages");
+
+    // Step 5 — validate the Poisson plan by simulation.
+    let cfg = ExecutionConfig::new(n, q);
+    let sim = experiment::reliability_conditional(&cfg, &PoissonFanout::new(z), 5, 11, 0.5);
+    println!(
+        "\nsimulated check: R = {:.4} at z = {z:.3}, q = {q} (target {target_reliability})",
+        sim.mean()
+    );
+    assert!((sim.mean() - target_reliability).abs() < 0.02);
+    println!("plan verified.");
+}

@@ -1,0 +1,65 @@
+//! Heterogeneous deployments as mixture fanouts: most members are
+//! constrained edge devices, a few are well-connected relays. The
+//! mixture machinery answers what the relay tier buys.
+//!
+//! ```sh
+//! cargo run --release -p gossip-examples --bin heterogeneous_fleet
+//! ```
+
+use gossip_model::distribution::{FanoutDistribution, FixedFanout, MixtureFanout, PoissonFanout};
+use gossip_model::SitePercolation;
+
+fn fleet(relay_share: f64, relay_fanout: f64) -> MixtureFanout {
+    MixtureFanout::new(vec![
+        (
+            1.0 - relay_share,
+            Box::new(FixedFanout::new(2)) as Box<dyn FanoutDistribution>,
+        ),
+        (relay_share, Box::new(PoissonFanout::new(relay_fanout))),
+    ])
+}
+
+fn main() {
+    let q = 0.8; // 20% of members crashed
+
+    println!("edge devices relay to 2 peers; relays to Po(z_r) peers; q = {q}\n");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>14}",
+        "relay share", "relay fanout", "mean fanout", "q_c", "reliability"
+    );
+    for &(share, zr) in &[
+        (0.00, 0.0),
+        (0.05, 8.0),
+        (0.05, 16.0),
+        (0.10, 8.0),
+        (0.10, 16.0),
+        (0.20, 16.0),
+    ] {
+        let dist: Box<dyn FanoutDistribution> = if share == 0.0 {
+            Box::new(FixedFanout::new(2))
+        } else {
+            Box::new(fleet(share, zr))
+        };
+        let perc = SitePercolation::new(&dist, q).expect("valid q");
+        let qc = perc
+            .critical_q()
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "n/a".into());
+        let r = perc.reliability().expect("solver converges");
+        println!(
+            "{:>12.2} {:>12.1} {:>12.2} {:>12} {:>14.4}",
+            share,
+            zr,
+            dist.mean(),
+            qc,
+            r
+        );
+    }
+
+    println!(
+        "\nA 5% relay tier with Po(16) fanout pushes reliability from the \
+         fixed-fanout baseline toward 1 while barely moving the mean message \
+         cost — the generating-function model prices the relay tier exactly \
+         (mixtures: G0 = Σ wᵢ·G0ᵢ)."
+    );
+}

@@ -1,0 +1,58 @@
+//! Gossip over SCAMP partial views: the paper assumes a membership
+//! service exists (§3, citing SCAMP); this example runs the actual
+//! protocol over actually-constructed partial views and compares with
+//! the full-view analysis.
+//!
+//! ```sh
+//! cargo run --release -p gossip-examples --bin scamp_gossip
+//! ```
+
+use gossip_model::distribution::PoissonFanout;
+use gossip_model::poisson_case;
+use gossip_netsim::membership::ScampViews;
+use gossip_protocol::engine::{ExecutionConfig, MembershipKind};
+use gossip_protocol::experiment;
+
+fn main() {
+    let n = 2_000;
+    let (f, q) = (5.0, 0.85);
+    let dist = PoissonFanout::new(f);
+    let analytic = poisson_case::reliability(f, q).expect("supercritical");
+
+    println!("n = {n}, Po({f}) fanout, q = {q}");
+    println!("analytic reliability (uniform targets): {analytic:.4}\n");
+
+    println!(
+        "{:>12} {:>16} {:>12} {:>8}",
+        "membership", "mean view size", "reliability", "gap"
+    );
+    let full_cfg = ExecutionConfig::new(n, q);
+    let full = experiment::reliability_conditional(&full_cfg, &dist, 15, 3, 0.5);
+    println!(
+        "{:>12} {:>16} {:>12.4} {:>8.4}",
+        "full view",
+        n - 1,
+        full.mean(),
+        (full.mean() - analytic).abs()
+    );
+
+    for c in [0usize, 1, 2, 4] {
+        let views = ScampViews::build(n, c, 99);
+        let cfg = ExecutionConfig::new(n, q).with_membership(MembershipKind::Scamp { c });
+        let stats = experiment::reliability_conditional(&cfg, &dist, 15, 3 + c as u64, 0.5);
+        println!(
+            "{:>12} {:>16.1} {:>12.4} {:>8.4}",
+            format!("SCAMP c={c}"),
+            views.mean_view_size(),
+            stats.mean(),
+            (stats.mean() - analytic).abs()
+        );
+    }
+
+    println!(
+        "\nWith (c+1)·ln n ≈ {:.0}-entry views (c = 2), gossip over partial views \
+         is practically indistinguishable from the uniform-membership analysis — \
+         the paper's membership assumption costs almost nothing.",
+        3.0 * (n as f64).ln()
+    );
+}

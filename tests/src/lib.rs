@@ -1,0 +1,29 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The tests themselves live in `tests/tests/*.rs`; this library only
+//! hosts small utilities they share.
+
+/// Asserts `|a − b| < tol` with a readable message.
+pub fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+    assert!(
+        (a - b).abs() < tol,
+        "{what}: {a} vs {b} (|Δ| = {} ≥ {tol})",
+        (a - b).abs()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assert_close_accepts() {
+        assert_close(1.0, 1.005, 0.01, "demo");
+    }
+
+    #[test]
+    #[should_panic(expected = "demo")]
+    fn assert_close_rejects() {
+        assert_close(1.0, 1.1, 0.01, "demo");
+    }
+}

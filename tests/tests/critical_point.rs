@@ -1,0 +1,83 @@
+//! The phase transition (paper Eqs. 3/10): empirical critical points on
+//! graphs and through the protocol match `q_c = 1/G1'(1)`.
+
+use gossip_model::distribution::{FixedFanout, PoissonFanout};
+use gossip_model::SitePercolation;
+use gossip_protocol::engine::ExecutionConfig;
+use gossip_protocol::experiment;
+use gossip_rgraph::phase::scan_configuration_model;
+
+#[test]
+fn poisson_phase_scan_finds_one_over_z() {
+    let dist = PoissonFanout::new(4.0);
+    let qs: Vec<f64> = (1..=12).map(|i| i as f64 * 0.05).collect();
+    let scan = scan_configuration_model(&dist, 3000, &qs, 3, 1);
+    assert!(
+        (scan.estimated_qc - 0.25).abs() <= 0.10,
+        "estimated q_c = {}, expected ≈ 0.25",
+        scan.estimated_qc
+    );
+}
+
+#[test]
+fn fixed_fanout_phase_scan() {
+    // Fixed(3): G1'(1) = 2 → q_c = 0.5.
+    let dist = FixedFanout::new(3);
+    let qs: Vec<f64> = (4..=16).map(|i| i as f64 * 0.05).collect(); // 0.2..0.8
+    let scan = scan_configuration_model(&dist, 3000, &qs, 3, 2);
+    assert!(
+        (scan.estimated_qc - 0.5).abs() <= 0.10,
+        "estimated q_c = {}, expected ≈ 0.5",
+        scan.estimated_qc
+    );
+}
+
+#[test]
+fn protocol_reliability_collapses_below_critical() {
+    // Straddle q_c = 0.25 for Po(4) with the live protocol.
+    let dist = PoissonFanout::new(4.0);
+    let below = experiment::reliability(&ExecutionConfig::new(1500, 0.18), &dist, 10, 3);
+    let above = experiment::reliability(&ExecutionConfig::new(1500, 0.40), &dist, 10, 4);
+    assert!(below.mean() < 0.05, "below q_c: {}", below.mean());
+    assert!(above.mean() > 0.25, "above q_c: {}", above.mean());
+}
+
+#[test]
+fn reliability_curve_inflects_at_critical_q() {
+    // Along a q sweep, analytic reliability is 0 up to q_c and strictly
+    // increasing after — the shape Figs. 4/5 hinge on.
+    let dist = PoissonFanout::new(4.0);
+    let mut last = 0.0;
+    for i in 1..=20 {
+        let q = i as f64 * 0.05;
+        let r = SitePercolation::new(&dist, q)
+            .unwrap()
+            .reliability()
+            .unwrap();
+        if q < 0.25 {
+            assert!(r < 1e-9, "pre-critical q = {q} gave R = {r}");
+        } else if q > 0.30 {
+            assert!(r > last, "R must strictly increase past q_c (q = {q})");
+        }
+        last = r;
+    }
+}
+
+#[test]
+fn critical_fanout_at_fixed_q() {
+    // Dual reading of Eq. 10 used by Figs. 4/5: at fixed q the curves
+    // lift off at f = 1/q.
+    let q: f64 = 0.5;
+    for &(f, expect_alive) in &[(1.5, false), (1.9, false), (2.2, true), (3.0, true)] {
+        let dist = PoissonFanout::new(f);
+        let r = SitePercolation::new(&dist, q)
+            .unwrap()
+            .reliability()
+            .unwrap();
+        assert_eq!(
+            r > 1e-6,
+            expect_alive,
+            "f = {f}, q = {q}: R = {r}, expected alive = {expect_alive}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Reproducibility: every stochastic pipeline in the workspace is a pure
+//! function of its seed — across reruns, and independent of thread
+//! scheduling in the parallel Monte-Carlo.
+
+use gossip_model::distribution::PoissonFanout;
+use gossip_protocol::engine::{run_push, ExecutionConfig, MembershipKind};
+use gossip_protocol::experiment;
+use gossip_rgraph::{ConfigurationModel, GossipGraphBuilder};
+use gossip_rgraph::reach::reach;
+use gossip_stats::rng::Xoshiro256StarStar;
+
+#[test]
+fn executions_bitwise_reproducible() {
+    let cfg = ExecutionConfig::new(800, 0.8);
+    let dist = PoissonFanout::new(4.0);
+    let a = run_push(&cfg, &dist, 0xABCD);
+    let b = run_push(&cfg, &dist, 0xABCD);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn experiment_reproducible_across_parallel_runs() {
+    // parallel_map distributes replications over threads; the aggregate
+    // must not depend on scheduling.
+    let cfg = ExecutionConfig::new(500, 0.9);
+    let dist = PoissonFanout::new(3.0);
+    let a = experiment::reliability(&cfg, &dist, 16, 7);
+    let b = experiment::reliability(&cfg, &dist, 16, 7);
+    assert_eq!(a.mean(), b.mean());
+    assert_eq!(a.variance(), b.variance());
+    assert_eq!(a.count(), b.count());
+}
+
+#[test]
+fn histogram_experiment_reproducible() {
+    let cfg = ExecutionConfig::new(400, 0.9);
+    let dist = PoissonFanout::new(4.0);
+    let a = experiment::member_receipt_distribution(&cfg, &dist, 5, 12, 3);
+    let b = experiment::member_receipt_distribution(&cfg, &dist, 5, 12, 3);
+    assert_eq!(a.counts(), b.counts());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let cfg = ExecutionConfig::new(800, 0.8);
+    let dist = PoissonFanout::new(4.0);
+    let a = run_push(&cfg, &dist, 1);
+    let b = run_push(&cfg, &dist, 2);
+    assert_ne!(a, b, "distinct seeds should give distinct executions");
+}
+
+#[test]
+fn graphs_reproducible() {
+    let dist = PoissonFanout::new(4.0);
+    let g1 = ConfigurationModel::new(&dist, 2000).generate(&mut Xoshiro256StarStar::new(5));
+    let g2 = ConfigurationModel::new(&dist, 2000).generate(&mut Xoshiro256StarStar::new(5));
+    assert_eq!(g1.edge_count(), g2.edge_count());
+    for v in 0..2000u32 {
+        assert_eq!(g1.neighbors(v), g2.neighbors(v));
+    }
+    let gg1 = GossipGraphBuilder::new(&dist, 2000, 0.9).build(&mut Xoshiro256StarStar::new(6));
+    let gg2 = GossipGraphBuilder::new(&dist, 2000, 0.9).build(&mut Xoshiro256StarStar::new(6));
+    assert_eq!(reach(&gg1).nonfailed_reached, reach(&gg2).nonfailed_reached);
+}
+
+#[test]
+fn scamp_execution_reproducible() {
+    let cfg = ExecutionConfig::new(600, 0.9).with_membership(MembershipKind::Scamp { c: 2 });
+    let dist = PoissonFanout::new(5.0);
+    let a = run_push(&cfg, &dist, 44);
+    let b = run_push(&cfg, &dist, 44);
+    assert_eq!(a, b);
+}

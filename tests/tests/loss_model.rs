@@ -1,0 +1,71 @@
+//! The message-loss extension (bond percolation) against the simulator's
+//! network loss model — theory the paper didn't include, validated
+//! end to end.
+
+use gossip_integration_tests::assert_close;
+use gossip_model::distribution::PoissonFanout;
+use gossip_model::loss::{poisson_reliability_with_loss, LossyGossip};
+use gossip_netsim::{LatencyModel, NetworkConfig};
+use gossip_protocol::engine::ExecutionConfig;
+use gossip_protocol::experiment;
+
+fn lossy_cfg(n: usize, q: f64, loss: f64) -> ExecutionConfig {
+    ExecutionConfig::new(n, q)
+        .with_network(NetworkConfig::new(LatencyModel::constant_millis(1)).with_loss(loss))
+}
+
+#[test]
+fn protocol_under_loss_matches_bond_percolation() {
+    let (f, q, loss) = (5.0, 0.9, 0.2);
+    let analytic = poisson_reliability_with_loss(f, q, loss).unwrap();
+    let cfg = lossy_cfg(1500, q, loss);
+    let stats = experiment::reliability_conditional(
+        &cfg,
+        &PoissonFanout::new(f),
+        15,
+        77,
+        0.5 * analytic,
+    );
+    assert_close(
+        stats.mean(),
+        analytic,
+        0.02,
+        "lossy protocol vs bond-percolation model",
+    );
+}
+
+#[test]
+fn loss_equivalent_to_thinned_fanout() {
+    // Poisson: losing 25% of messages ≡ gossiping with 75% of the fanout.
+    let q = 0.9;
+    let analytic = poisson_reliability_with_loss(6.0, q, 0.25).unwrap();
+    let lossy = experiment::reliability_conditional(
+        &lossy_cfg(1500, q, 0.25),
+        &PoissonFanout::new(6.0),
+        15,
+        5,
+        0.5 * analytic,
+    );
+    let thinned = experiment::reliability_conditional(
+        &ExecutionConfig::new(1500, q),
+        &PoissonFanout::new(4.5),
+        15,
+        6,
+        0.5 * analytic,
+    );
+    assert_close(lossy.mean(), thinned.mean(), 0.025, "loss ≡ fanout thinning");
+}
+
+#[test]
+fn heavy_loss_kills_gossip_at_the_predicted_point() {
+    // Po(4), q = 0.9: critical loss = 1 − 1/(q·z) ≈ 0.722.
+    let d = PoissonFanout::new(4.0);
+    let m = LossyGossip::new(&d, 0.9, 0.0).unwrap();
+    let loss_crit = m.critical_loss().unwrap();
+    assert_close(loss_crit, 1.0 - 1.0 / 3.6, 1e-12, "critical loss");
+
+    let below = experiment::reliability(&lossy_cfg(1500, 0.9, loss_crit + 0.1), &d, 8, 9);
+    assert!(below.mean() < 0.05, "past critical loss: {}", below.mean());
+    let above = experiment::reliability(&lossy_cfg(1500, 0.9, loss_crit - 0.25), &d, 8, 10);
+    assert!(above.mean() > 0.2, "below critical loss: {}", above.mean());
+}

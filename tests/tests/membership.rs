@@ -1,0 +1,92 @@
+//! The membership assumption (paper §3): gossip over SCAMP-style partial
+//! views behaves like gossip over uniform views once views reach the
+//! `(c+1)·ln n` size SCAMP provides.
+
+use gossip_model::distribution::PoissonFanout;
+use gossip_model::poisson_case;
+use gossip_netsim::membership::{Membership, ScampViews};
+use gossip_protocol::engine::{ExecutionConfig, MembershipKind};
+use gossip_protocol::experiment;
+use gossip_stats::rng::Xoshiro256StarStar;
+
+#[test]
+fn scamp_view_sizes_scale_with_log_n() {
+    let n = 1500;
+    let c = 2;
+    let views = ScampViews::build(n, c, 7);
+    let predicted = (c as f64 + 1.0) * (n as f64).ln();
+    let mean = views.mean_view_size();
+    assert!(
+        mean > 0.4 * predicted && mean < 2.5 * predicted,
+        "mean view {mean:.1} vs SCAMP prediction {predicted:.1}"
+    );
+}
+
+#[test]
+fn gossip_over_scamp_approaches_uniform_analysis() {
+    let n = 1200;
+    let (f, q) = (5.0, 0.9);
+    let analytic = poisson_case::reliability(f, q).unwrap();
+    let cfg = ExecutionConfig::new(n, q).with_membership(MembershipKind::Scamp { c: 2 });
+    let stats = experiment::reliability_conditional(
+        &cfg,
+        &PoissonFanout::new(f),
+        12,
+        5,
+        0.5 * analytic,
+    );
+    let gap = (stats.mean() - analytic).abs();
+    assert!(
+        gap < 0.05,
+        "partial-view gossip off by {gap:.3} from uniform analysis ({} vs {analytic})",
+        stats.mean()
+    );
+}
+
+#[test]
+fn view_richness_tracks_uniform_analysis() {
+    // Once views clear the SCAMP size, reliability (conditioned on
+    // take-off, to remove source-extinction noise) sits near the uniform
+    // analysis for every redundancy level.
+    let n = 1200;
+    let (f, q) = (4.0, 0.9);
+    let analytic = poisson_case::reliability(f, q).unwrap();
+    let dist = PoissonFanout::new(f);
+    for c in [0usize, 2, 4] {
+        let cfg = ExecutionConfig::new(n, q).with_membership(MembershipKind::Scamp { c });
+        let stats =
+            experiment::reliability_conditional(&cfg, &dist, 16, 9 + c as u64, 0.5 * analytic);
+        let gap = (stats.mean() - analytic).abs();
+        assert!(
+            gap < 0.06,
+            "SCAMP c={c}: conditional reliability {} vs analytic {analytic} (gap {gap:.3})",
+            stats.mean()
+        );
+    }
+}
+
+#[test]
+fn views_have_no_self_or_duplicates_at_scale() {
+    let views = ScampViews::build(2000, 3, 13);
+    for v in 0..2000u32 {
+        let view = views.view(v);
+        assert!(!view.contains(&v));
+        let mut sorted = view.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), view.len());
+    }
+}
+
+#[test]
+fn sampling_over_trait_object() {
+    let views = ScampViews::build(500, 2, 17);
+    let m: &dyn Membership = &views;
+    let mut rng = Xoshiro256StarStar::new(1);
+    let mut out = Vec::new();
+    m.sample_targets(10, 4, &mut rng, &mut out);
+    assert!(out.len() <= 4);
+    for t in &out {
+        assert!(views.view(10).contains(t));
+    }
+}

@@ -1,0 +1,108 @@
+//! The success-of-gossiping calculus end to end (paper §4.2(2), §5.2,
+//! Figs. 6/7): the per-member receipt count follows a binomial law, and
+//! Eq. 5/6 predictions hold against the measured protocol.
+
+use gossip_integration_tests::assert_close;
+use gossip_model::distribution::PoissonFanout;
+use gossip_model::{poisson_case, success};
+use gossip_protocol::engine::ExecutionConfig;
+use gossip_protocol::experiment;
+use gossip_stats::binomial::Binomial;
+use gossip_stats::gof::{chi_square_pvalue, total_variation_distance};
+
+/// Group size for these tests: large enough for clean percolation,
+/// small enough for debug-mode CI.
+const N: usize = 800;
+
+#[test]
+fn member_receipt_count_is_binomial() {
+    // X = receipts among t executions ~ B(t, p) with p ≈ S² (directed:
+    // take-off × membership in the reachable component).
+    let (f, q) = (4.0, 0.9);
+    let s = poisson_case::reliability(f, q).unwrap();
+    let cfg = ExecutionConfig::new(N, q);
+    let execs = 10;
+    let sims = 60;
+    let hist =
+        experiment::member_receipt_distribution(&cfg, &PoissonFanout::new(f), execs, sims, 42);
+    assert_eq!(hist.total(), sims as u64);
+
+    let directed = Binomial::new(execs as u64, s * s);
+    let outcome = chi_square_pvalue(hist.counts(), &directed.pmf_vector(), 4.0);
+    assert!(
+        outcome.p_value > 1e-3,
+        "X should fit B({execs}, S²): chi² p = {} (stat {})",
+        outcome.p_value,
+        outcome.statistic
+    );
+    // And the paper's B(t, S) line is the upper envelope: TV distance to
+    // B(t, S²) must not exceed TV to B(t, S) by much (finite-size slack).
+    let paper = Binomial::new(execs as u64, s);
+    let tv_directed = total_variation_distance(&hist.pmf_vector(), &directed.pmf_vector());
+    let tv_paper = total_variation_distance(&hist.pmf_vector(), &paper.pmf_vector());
+    assert!(
+        tv_directed < tv_paper + 0.05,
+        "directed refinement should fit no worse: {tv_directed} vs {tv_paper}"
+    );
+}
+
+#[test]
+fn eq5_success_probability_within_t() {
+    let (f, q) = (4.0, 0.9);
+    let cfg = ExecutionConfig::new(N, q);
+    let dist = PoissonFanout::new(f);
+    let s = poisson_case::reliability(f, q).unwrap();
+    // Per-member per-execution receipt probability is ≈ S² (directed).
+    let p = s * s;
+    for t in [1usize, 2, 4] {
+        let measured = experiment::success_within_t(&cfg, &dist, t, 150, 7 + t as u64);
+        let predicted = success::success_probability(p, t as u32);
+        assert_close(
+            measured,
+            predicted,
+            0.08,
+            &format!("Pr(reached within t={t})"),
+        );
+    }
+}
+
+#[test]
+fn eq6_required_executions_suffice_in_practice() {
+    // Plan t with Eq. 6 (using the directed per-member probability),
+    // then check the plan empirically beats the target.
+    let (f, q) = (4.0, 0.9);
+    let s = poisson_case::reliability(f, q).unwrap();
+    let p = s * s;
+    let target = 0.999;
+    let t = success::required_executions(p, target).unwrap();
+    let cfg = ExecutionConfig::new(N, q);
+    let measured = experiment::success_within_t(&cfg, &PoissonFanout::new(f), t as usize, 400, 99);
+    assert!(
+        measured >= target - 0.02,
+        "t = {t} executions delivered only {measured}"
+    );
+}
+
+#[test]
+fn paper_worked_example_eq6() {
+    // §5.2: p_r = 0.967 (paper's rounded R), p_s = 0.999 → t = 3.
+    assert_eq!(success::required_executions(0.967, 0.999).unwrap(), 3);
+    // With the directed per-member probability S² ≈ 0.94, t = 3 as well —
+    // the paper's recommendation is robust to the refinement.
+    let s = poisson_case::reliability(4.0, 0.9).unwrap();
+    assert_eq!(success::required_executions(s * s, 0.999).unwrap(), 3);
+}
+
+#[test]
+fn strict_group_success_is_rare_at_scale() {
+    // The metric-definition finding: with ≈720 nonfailed members and
+    // R < 1, P(every member reached in one execution) ≈ 0 — the strict
+    // reading of §4.2's S(q, P, t) cannot be what Figs. 6/7 plot.
+    let cfg = ExecutionConfig::new(N, 0.9);
+    let hist = experiment::success_count_distribution(&cfg, &PoissonFanout::new(4.0), 10, 10, 3);
+    assert!(
+        hist.mean() < 1.0,
+        "strict success should be rare: mean {}",
+        hist.mean()
+    );
+}
