@@ -23,16 +23,24 @@ fn bench_fanout_samplers(c: &mut Criterion) {
     group.bench_function("fixed_4", |b| b.iter(|| black_box(fixed.sample(&mut rng))));
 
     let geo = GeometricFanout::with_mean(4.0);
-    group.bench_function("geometric_mean4", |b| b.iter(|| black_box(geo.sample(&mut rng))));
+    group.bench_function("geometric_mean4", |b| {
+        b.iter(|| black_box(geo.sample(&mut rng)))
+    });
 
     let uni = UniformFanout::new(2, 6);
-    group.bench_function("uniform_2_6", |b| b.iter(|| black_box(uni.sample(&mut rng))));
+    group.bench_function("uniform_2_6", |b| {
+        b.iter(|| black_box(uni.sample(&mut rng)))
+    });
 
     let pl = PowerLawFanout::new(2.5, 1, 100);
-    group.bench_function("powerlaw_alias", |b| b.iter(|| black_box(pl.sample(&mut rng))));
+    group.bench_function("powerlaw_alias", |b| {
+        b.iter(|| black_box(pl.sample(&mut rng)))
+    });
 
     let emp = EmpiricalFanout::new(&[0.1, 0.2, 0.3, 0.2, 0.1, 0.1]);
-    group.bench_function("empirical_alias", |b| b.iter(|| black_box(emp.sample(&mut rng))));
+    group.bench_function("empirical_alias", |b| {
+        b.iter(|| black_box(emp.sample(&mut rng)))
+    });
     group.finish();
 }
 
@@ -48,7 +56,9 @@ fn bench_stats_substrate(c: &mut Criterion) {
     group.bench_function("poisson_sample_lambda30", |b| {
         b.iter(|| black_box(po.sample(&mut rng)))
     });
-    group.bench_function("poisson_cdf", |b| b.iter(|| black_box(po.cdf(black_box(25)))));
+    group.bench_function("poisson_cdf", |b| {
+        b.iter(|| black_box(po.cdf(black_box(25))))
+    });
 
     let bin = Binomial::new(20, 0.967);
     group.bench_function("binomial_pmf_vector_20", |b| {

@@ -5,10 +5,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gossip_model::distribution::PoissonFanout;
-use gossip_rgraph::{
-    components, percolate, ConfigurationModel, GossipGraphBuilder, UnionFind,
-};
 use gossip_rgraph::reach::reach;
+use gossip_rgraph::{components, percolate, ConfigurationModel, GossipGraphBuilder, UnionFind};
 use gossip_stats::rng::Xoshiro256StarStar;
 
 fn bench_configuration_model(c: &mut Criterion) {
@@ -45,13 +43,17 @@ fn bench_census_and_reach(c: &mut Criterion) {
     let n = 50_000;
     let g = ConfigurationModel::new(&dist, n).generate(&mut Xoshiro256StarStar::new(3));
     group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("census_50k", |b| b.iter(|| components::census(black_box(&g))));
+    group.bench_function("census_50k", |b| {
+        b.iter(|| components::census(black_box(&g)))
+    });
     group.bench_function("percolate_50k_q0.8", |b| {
         let mut rng = Xoshiro256StarStar::new(4);
         b.iter(|| percolate(black_box(&g), 0.8, &[], &mut rng))
     });
     let gossip = GossipGraphBuilder::new(&dist, n, 0.9).build(&mut Xoshiro256StarStar::new(5));
-    group.bench_function("directed_reach_50k", |b| b.iter(|| reach(black_box(&gossip))));
+    group.bench_function("directed_reach_50k", |b| {
+        b.iter(|| reach(black_box(&gossip)))
+    });
     group.finish();
 }
 

@@ -23,7 +23,11 @@ fn bench_push_variants(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(run_execution(&cfg, |_| PushGossip::new(poisson.clone()), seed))
+            black_box(run_execution(
+                &cfg,
+                |_| PushGossip::new(poisson.clone()),
+                seed,
+            ))
         })
     });
 
@@ -32,7 +36,11 @@ fn bench_push_variants(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(run_execution(&cfg, |_| PushGossip::new(fixed.clone()), seed))
+            black_box(run_execution(
+                &cfg,
+                |_| PushGossip::new(fixed.clone()),
+                seed,
+            ))
         })
     });
 

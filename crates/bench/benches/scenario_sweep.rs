@@ -1,0 +1,97 @@
+//! Criterion benches for the `SweepGrid` hot path — the entry point
+//! every figure binary and cross-validation test now funnels through.
+//! Future PRs optimizing the scenario layer (cell materialization, the
+//! parallel fan-out, per-cell solver work) measure against this
+//! baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_model::scenario::{AnalyticBackend, Backend, FanoutSpec, Scenario, SweepGrid};
+use gossip_rgraph::GraphBackend;
+
+/// The Figs. 4/5-shaped grid: paper fanout axis × four failure ratios.
+fn fig45_like_grid(n: usize, reps: usize) -> SweepGrid {
+    let means: Vec<f64> = gossip_model::sweep::paper_fanout_grid();
+    SweepGrid::new(
+        Scenario::new(n, FanoutSpec::poisson(4.0))
+            .with_replications(reps)
+            .with_seed(0xBE7C),
+    )
+    .over_poisson_means(&means)
+    .over_failure_ratios(&[0.4, 0.6, 0.8, 1.0])
+}
+
+fn bench_cell_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario/materialize");
+    let grid = fig45_like_grid(1000, 20);
+    group.throughput(Throughput::Elements(grid.len() as u64));
+    group.bench_function("fig45_grid_60_cells", |b| {
+        b.iter(|| black_box(&grid).scenarios())
+    });
+    group.finish();
+}
+
+fn bench_analytic_sweep(c: &mut Criterion) {
+    // The analytic backend's per-cell cost is the Eq. 11 fixed-point
+    // solve; the sweep fans cells over all cores.
+    let mut group = c.benchmark_group("scenario/analytic_sweep");
+    group.sample_size(20);
+    for &cells in &[15usize, 60] {
+        let means: Vec<f64> = (0..cells).map(|i| 1.1 + i as f64 * 0.1).collect();
+        let grid =
+            SweepGrid::new(Scenario::new(1000, FanoutSpec::poisson(4.0)).with_failure_ratio(0.9))
+                .over_poisson_means(&means);
+        group.throughput(Throughput::Elements(cells as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &grid, |b, grid| {
+            b.iter(|| grid.run(&AnalyticBackend))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytic_single_cell(c: &mut Criterion) {
+    // Per-cell floor: scenario validation + distribution build + solver.
+    let mut group = c.benchmark_group("scenario/analytic_cell");
+    let scenario = Scenario::new(1000, FanoutSpec::poisson(4.0)).with_failure_ratio(0.9);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("poisson_headline", |b| {
+        b.iter(|| AnalyticBackend.evaluate(black_box(&scenario)).unwrap())
+    });
+    let mixture = Scenario::new(
+        1000,
+        FanoutSpec::Mixture {
+            components: vec![
+                (0.8, FanoutSpec::fixed(2)),
+                (0.2, FanoutSpec::poisson(12.0)),
+            ],
+        },
+    )
+    .with_failure_ratio(0.9);
+    group.bench_function("mixture_series_solver", |b| {
+        b.iter(|| AnalyticBackend.evaluate(black_box(&mixture)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_graph_backend_cell(c: &mut Criterion) {
+    // The graph backend's cost is graph generation + union-find census
+    // per replication; n = 5000 with 4 reps is one acceptance-test cell.
+    let mut group = c.benchmark_group("scenario/graph_cell");
+    group.sample_size(10);
+    let scenario = Scenario::new(5000, FanoutSpec::poisson(4.0))
+        .with_failure_ratio(0.9)
+        .with_replications(4);
+    group.throughput(Throughput::Elements(scenario.n as u64 * 4));
+    group.bench_function("n5000_reps4", |b| {
+        b.iter(|| GraphBackend.evaluate(black_box(&scenario)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cell_materialization,
+    bench_analytic_sweep,
+    bench_analytic_single_cell,
+    bench_graph_backend_cell
+);
+criterion_main!(benches);

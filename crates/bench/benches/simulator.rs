@@ -13,25 +13,21 @@ fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator/event_queue");
     for &n in &[1_000usize, 100_000] {
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(
-            BenchmarkId::new("schedule_pop_random", n),
-            &n,
-            |b, &n| {
-                let mut rng = Xoshiro256StarStar::new(7);
-                let times: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
-                b.iter(|| {
-                    let mut q: EventQueue<u32> = EventQueue::with_capacity(n);
-                    for &t in &times {
-                        q.schedule(SimTime::from_nanos(t), 0, EventKind::Timer { id: t });
-                    }
-                    let mut last = 0u64;
-                    while let Some(e) = q.pop() {
-                        last = e.time.as_nanos();
-                    }
-                    black_box(last)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("schedule_pop_random", n), &n, |b, &n| {
+            let mut rng = Xoshiro256StarStar::new(7);
+            let times: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
+            b.iter(|| {
+                let mut q: EventQueue<u32> = EventQueue::with_capacity(n);
+                for &t in &times {
+                    q.schedule(SimTime::from_nanos(t), 0, EventKind::Timer { id: t });
+                }
+                let mut last = 0u64;
+                while let Some(e) = q.pop() {
+                    last = e.time.as_nanos();
+                }
+                black_box(last)
+            })
+        });
     }
     group.finish();
 }
@@ -79,5 +75,10 @@ fn bench_membership(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_execution, bench_membership);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_execution,
+    bench_membership
+);
 criterion_main!(benches);

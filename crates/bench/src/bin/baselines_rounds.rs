@@ -36,7 +36,13 @@ fn main() {
             "E12 — infected fraction by round, n = {n}, Po({f}), q = {q} \
              (measured = hop profile over {reps} take-off executions)"
         ),
-        &["round", "measured", "pbcast recurrence", "SI epidemic", "paper model (endpoint)"],
+        &[
+            "round",
+            "measured",
+            "pbcast recurrence",
+            "SI epidemic",
+            "paper model (endpoint)",
+        ],
     );
     for (h, &m) in measured.iter().enumerate() {
         let pb = pbcast_traj.get(h).copied().unwrap_or(f64::NAN) / n as f64;
@@ -51,7 +57,11 @@ fn main() {
     let series: Vec<(&str, Vec<(f64, f64)>)> = vec![
         (
             "measured",
-            measured.iter().enumerate().map(|(h, &v)| (h as f64, v)).collect(),
+            measured
+                .iter()
+                .enumerate()
+                .map(|(h, &v)| (h as f64, v))
+                .collect(),
         ),
         (
             "pbcast",

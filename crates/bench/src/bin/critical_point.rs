@@ -5,12 +5,12 @@
 //! works when `q > 1/f` for Poisson fanout. This experiment locates the
 //! phase transition directly: sweep `q` on configuration-model graphs,
 //! find the second-largest-component peak, and compare against the
-//! analytic `q_c` — for Poisson and for two non-Poisson fanouts the
-//! paper's model also covers.
+//! analytic `q_c` — which now comes from the scenario API
+//! ([`AnalyticBackend`]'s `Report::critical_q`), with the fanout cases
+//! declared as data ([`FanoutSpec`]).
 
 use gossip_bench::{base_seed, scaled, Table};
-use gossip_model::distribution::{FanoutDistribution, FixedFanout, GeometricFanout, PoissonFanout};
-use gossip_model::SitePercolation;
+use gossip_model::scenario::{AnalyticBackend, Backend, FanoutSpec, Scenario};
 use gossip_rgraph::phase::scan_configuration_model;
 
 fn main() {
@@ -23,24 +23,24 @@ fn main() {
         &["distribution", "analytic q_c", "empirical q_c", "|gap|"],
     );
 
-    let cases: Vec<(String, Box<dyn FanoutDistribution>)> = vec![
-        ("Po(2.5)".into(), Box::new(PoissonFanout::new(2.5))),
-        ("Po(4.0)".into(), Box::new(PoissonFanout::new(4.0))),
-        ("Fixed(3)".into(), Box::new(FixedFanout::new(3))),
-        (
-            "Geom(mean 3)".into(),
-            Box::new(GeometricFanout::with_mean(3.0)),
-        ),
+    let cases = [
+        FanoutSpec::poisson(2.5),
+        FanoutSpec::poisson(4.0),
+        FanoutSpec::fixed(3),
+        FanoutSpec::geometric_with_mean(3.0),
     ];
-    for (label, dist) in &cases {
-        let analytic = SitePercolation::new(dist, 1.0)
-            .expect("q = 1 is valid")
-            .critical_q()
+    for spec in &cases {
+        let scenario = Scenario::new(n, spec.clone());
+        let analytic = AnalyticBackend
+            .evaluate(&scenario)
+            .expect("valid scenario")
+            .critical_q
             .expect("all cases percolate");
-        let scan = scan_configuration_model(dist, n, &qs, reps, base_seed());
+        let dist = spec.build().expect("valid fanout spec");
+        let scan = scan_configuration_model(&dist, n, &qs, reps, base_seed());
         let gap = (scan.estimated_qc - analytic).abs();
         table.push(vec![
-            label.clone(),
+            spec.label(),
             format!("{analytic:.4}"),
             format!("{:.4}", scan.estimated_qc),
             format!("{gap:.4}"),

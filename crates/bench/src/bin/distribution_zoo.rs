@@ -54,7 +54,14 @@ fn main() {
             "E8 — fanout families at mean ≈ {mean}, n = {n}, q = {q} \
              (analytic = paper model; graph = undirected GC; protocol = directed gossip)"
         ),
-        &["distribution", "mean", "q_c", "R analytic", "R graph", "R protocol"],
+        &[
+            "distribution",
+            "mean",
+            "q_c",
+            "R analytic",
+            "R graph",
+            "R protocol",
+        ],
     );
     let cfg = ExecutionConfig::new(n, q);
     for (i, (label, dist)) in zoo.iter().enumerate() {

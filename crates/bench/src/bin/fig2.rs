@@ -1,45 +1,68 @@
 //! Fig. 2 — mean fanout `z` vs reliability `S` for q ∈ {0.2, …, 1.0}
 //! (analytic, paper Eq. 12: `z = −ln(1 − S)/(qS)`).
 //!
+//! Ported to the scenario API: each designed `z` is round-tripped
+//! through an [`AnalyticBackend`] scenario — the forward model must
+//! reproduce the reliability the inverse design promised.
+//!
 //! Paper reference points: the curves span S ∈ [0.1111, 0.9999] with z
 //! rising to ≈46 at (q = 0.2, S = 0.9999) and staying below ≈10 at
 //! q = 1.0.
 
 use gossip_bench::{ascii_plot, Table};
-use gossip_model::sweep;
+use gossip_model::poisson_case;
+use gossip_model::scenario::{AnalyticBackend, Backend, FanoutSpec, Scenario};
 
 fn main() {
     let qs = [0.2, 0.4, 0.6, 0.8, 1.0];
-    let curves = sweep::fig2_fanout_vs_reliability(&qs, 0.1111, 0.9999, 60)
-        .expect("Eq. 12 sweep is well-defined on this grid");
+    let steps = 60;
+    let (s_min, s_max) = (0.1111, 0.9999);
 
     let mut headers = vec!["S".to_string()];
-    headers.extend(curves.iter().map(|c| format!("z({})", c.label)));
+    headers.extend(qs.iter().map(|q| format!("z(q={q})")));
+    headers.push("max |roundtrip err|".into());
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
         "Fig. 2 — mean fanout required for reliability S (Poisson, Eq. 12)",
         &header_refs,
     );
-    for i in 0..curves[0].points.len() {
-        let mut row = vec![curves[0].points[i].x];
-        row.extend(curves.iter().map(|c| c.points[i].y));
+
+    let mut series: Vec<(String, Vec<(f64, f64)>)> =
+        qs.iter().map(|q| (format!("q={q}"), Vec::new())).collect();
+    let mut worst_roundtrip = 0.0f64;
+    for i in 0..steps {
+        let s = s_min + (s_max - s_min) * i as f64 / (steps - 1) as f64;
+        let mut row = vec![s];
+        let mut row_err = 0.0f64;
+        for (qi, &q) in qs.iter().enumerate() {
+            // Inverse design (Eq. 12), then forward verification through
+            // the scenario API.
+            let z = poisson_case::mean_fanout_for(s, q).expect("Eq. 12 well-defined");
+            let scenario = Scenario::new(1000, FanoutSpec::poisson(z)).with_failure_ratio(q);
+            let report = AnalyticBackend.evaluate(&scenario).expect("valid scenario");
+            row_err = row_err.max((report.reliability - s).abs());
+            row.push(z);
+            series[qi].1.push((s, z));
+        }
+        worst_roundtrip = worst_roundtrip.max(row_err);
+        row.push(row_err);
         table.push_floats(&row, 4);
     }
     table.print();
     table.save("fig2_fanout_vs_reliability.csv");
 
-    let series: Vec<(&str, Vec<(f64, f64)>)> = curves
+    let series_refs: Vec<(&str, Vec<(f64, f64)>)> = series
         .iter()
-        .map(|c| {
-            (
-                c.label.as_str(),
-                c.points.iter().map(|p| (p.x, p.y)).collect(),
-            )
-        })
+        .map(|(l, p)| (l.as_str(), p.clone()))
         .collect();
-    println!("{}", ascii_plot(&series, 70, 22));
+    println!("{}", ascii_plot(&series_refs, 70, 22));
 
     // Headline checkpoints from the paper's plot.
-    let z_max = curves[0].points.last().expect("non-empty").y;
+    let z_max = series[0].1.last().expect("non-empty").1;
     println!("checkpoint: z(q=0.2, S=0.9999) = {z_max:.2} (paper plot: ≈46)");
+    println!("checkpoint: worst |R(designed z) − S| = {worst_roundtrip:.2e} (design roundtrip)");
+    assert!(
+        worst_roundtrip < 1e-6,
+        "Eq. 12 must round-trip through Eq. 11"
+    );
 }

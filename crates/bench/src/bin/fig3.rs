@@ -2,36 +2,68 @@
 //! p_s = 0.999, as a function of per-execution reliability `S`
 //! (analytic, paper Eq. 6: `t ≥ lg(1 − p_s)/lg(1 − S)`).
 //!
+//! Ported to the scenario API: `t_min` is found by stepping the
+//! scenario's `executions` knob until the [`AnalyticBackend`] report's
+//! `success_within_t` (Eq. 5) crosses `p_s` — the closed form (Eq. 6)
+//! is asserted to agree at every point.
+//!
 //! Paper reference: t ≈ 20 near S = 0.3, dropping below 5 around S ≈
-//! 0.75 and to ~1–2 as S → 1 (Fig. 3 plots S from 0.2 to ~1.05 with t up
-//! to 20).
+//! 0.75 and to ~1–2 as S → 1.
 
 use gossip_bench::{ascii_plot, Table};
-use gossip_model::sweep;
+use gossip_model::scenario::{AnalyticBackend, Backend, FanoutSpec, Scenario};
+use gossip_model::{poisson_case, success};
 
 fn main() {
     let ps = 0.999;
-    let curve = sweep::fig3_required_executions(ps, 0.20, 0.995, 60)
-        .expect("Eq. 6 sweep is well-defined on this grid");
+    let steps = 60;
+    let (s_min, s_max) = (0.20, 0.995);
 
     let mut table = Table::new(
         "Fig. 3 — minimum executions t for Pr(success) ≥ 0.999 (Eq. 6)",
         &["S", "t_min"],
     );
-    for p in &curve.points {
-        table.push(vec![format!("{:.4}", p.x), format!("{}", p.y as u32)]);
+    let mut points = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let s = s_min + (s_max - s_min) * i as f64 / (steps - 1) as f64;
+        // A scenario whose one-execution reliability is S (invert
+        // Eq. 11 for the fanout at q = 1), then step t upward until the
+        // reported Eq. 5 success probability clears p_s.
+        let z = poisson_case::mean_fanout_for(s, 1.0).expect("Eq. 12 well-defined");
+        let scenario = Scenario::new(1000, FanoutSpec::poisson(z));
+        let mut t_min = 0;
+        for t in 1..=64u32 {
+            let report = AnalyticBackend
+                .evaluate(&scenario.clone().with_executions(t))
+                .expect("valid scenario");
+            if report.success_within_t >= ps {
+                t_min = t;
+                break;
+            }
+        }
+        assert!(t_min > 0, "t_min must exist for S = {s}");
+        // The closed form must agree with the stepped search (the
+        // scenario's reliability differs from S only by solver epsilon,
+        // so allow the boundary step).
+        let closed = success::required_executions(s, ps).expect("supercritical S");
+        assert!(
+            (t_min as i64 - closed as i64).abs() <= 1,
+            "scenario search t = {t_min} vs Eq. 6 t = {closed} at S = {s}"
+        );
+        table.push(vec![format!("{s:.4}"), format!("{t_min}")]);
+        points.push((s, t_min as f64));
     }
     table.print();
     table.save("fig3_required_executions.csv");
 
-    let series = vec![(
-        "t_min(S), ps=0.999",
-        curve.points.iter().map(|p| (p.x, p.y)).collect::<Vec<_>>(),
-    )];
-    println!("{}", ascii_plot(&series, 70, 20));
+    let series = vec![("t_min(S), ps=0.999", points.clone())];
+    println!("{}", ascii_plot(&series, 70, 18));
 
-    // Paper's §5.2 worked example: S = 0.967 → t = 3.
-    let t_0967 = gossip_model::success::required_executions(0.967, ps)
-        .expect("0.967 is a valid reliability");
-    println!("checkpoint: t(S=0.967, ps=0.999) = {t_0967} (paper: \"greater than three\" → 3)");
+    println!(
+        "checkpoint: t_min({:.2}) = {}, t_min({:.2}) = {} (paper: ~20 at small S, 1-2 near 1)",
+        points[0].0,
+        points[0].1,
+        points.last().unwrap().0,
+        points.last().unwrap().1
+    );
 }

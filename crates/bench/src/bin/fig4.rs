@@ -18,15 +18,11 @@ fn main() {
 /// Shared driver for Figs. 4 (n = 1000) and 5 (n = 5000).
 pub fn run(n: usize, tag: &str) {
     let reps = scaled(20); // paper: 20 runs per point
-    let panels: [(&str, &[f64]); 2] = [
-        ("a", &[0.1, 0.3, 0.5, 1.0]),
-        ("b", &[0.4, 0.6, 0.8, 1.0]),
-    ];
+    let panels: [(&str, &[f64]); 2] = [("a", &[0.1, 0.3, 0.5, 1.0]), ("b", &[0.4, 0.6, 0.8, 1.0])];
     for (panel, qs) in panels {
         let points = reliability_vs_fanout(n, qs, reps, base_seed());
-        let title = format!(
-            "Fig. {tag}{panel} — reliability vs mean fanout, n = {n}, {reps} runs/point"
-        );
+        let title =
+            format!("Fig. {tag}{panel} — reliability vs mean fanout, n = {n}, {reps} runs/point");
         let table = reliability_table(&title, qs, &points);
         table.print();
         table.save(&format!("{tag}{panel}_reliability_n{n}.csv"));

@@ -12,10 +12,7 @@ use gossip_model::sweep::paper_fanout_grid;
 fn main() {
     let n = 5000;
     let reps = scaled(20);
-    let panels: [(&str, &[f64]); 2] = [
-        ("a", &[0.1, 0.3, 0.5, 1.0]),
-        ("b", &[0.4, 0.6, 0.8, 1.0]),
-    ];
+    let panels: [(&str, &[f64]); 2] = [("a", &[0.1, 0.3, 0.5, 1.0]), ("b", &[0.4, 0.6, 0.8, 1.0])];
     for (panel, qs) in panels {
         let points = reliability_vs_fanout(n, qs, reps, base_seed());
         let title =

@@ -4,48 +4,69 @@
 //! generating-function model extends to joint site+bond percolation
 //! (`gossip_model::loss`), predicting for Poisson fanout
 //! `R = 1 − e^{−z(1−ℓ)qR}` and a critical loss `ℓ_c = 1 − 1/(zq)`.
-//! This sweep validates both against the simulator's actual loss model.
+//!
+//! Ported to the scenario API: one [`SweepGrid`] over the loss axis,
+//! evaluated by [`AnalyticBackend`] (the bond+site prediction) and by
+//! [`NetSimBackend`] (the simulator's actual per-message loss model).
 
 use gossip_bench::{base_seed, scaled, Table};
 use gossip_model::distribution::PoissonFanout;
-use gossip_model::loss::{poisson_reliability_with_loss, LossyGossip};
-use gossip_netsim::{LatencyModel, NetworkConfig};
-use gossip_protocol::engine::ExecutionConfig;
-use gossip_protocol::experiment;
+use gossip_model::loss::LossyGossip;
+use gossip_model::scenario::{AnalyticBackend, FanoutSpec, Scenario, SweepGrid};
+use gossip_protocol::NetSimBackend;
 
 fn main() {
     let n = 2000;
     let (f, q) = (4.0, 0.9);
     let reps = scaled(30);
+    let losses: Vec<f64> = (0..=16).map(|i| i as f64 * 0.05).collect();
+
     let dist = PoissonFanout::new(f);
     let loss_crit = LossyGossip::new(&dist, q, 0.0)
         .expect("valid parameters")
         .critical_loss()
         .expect("supercritical at zero loss");
 
+    let grid = SweepGrid::new(
+        Scenario::new(n, FanoutSpec::poisson(f))
+            .with_failure_ratio(q)
+            .with_replications(reps)
+            .with_seed(base_seed()),
+    )
+    .over_losses(&losses);
+    let analytic = grid.run(&AnalyticBackend);
+    let simulated = grid.run(&NetSimBackend);
+
     let mut table = Table::new(
         format!("E14 — reliability vs message loss, n = {n}, Po({f}), q = {q}, {reps} runs"),
-        &["loss", "R analytic (bond+site)", "R simulated", "status"],
+        &[
+            "loss",
+            "R analytic (bond+site)",
+            "R simulated (netsim)",
+            "status",
+        ],
     );
-    for i in 0..=16 {
-        let loss = i as f64 * 0.05;
-        let analytic = poisson_reliability_with_loss(f, q, loss).expect("valid loss");
-        let cfg = ExecutionConfig::new(n, q).with_network(
-            NetworkConfig::new(LatencyModel::constant_millis(1)).with_loss(loss),
-        );
-        let stats = experiment::reliability_conditional(
-            &cfg,
-            &dist,
-            reps,
-            base_seed().wrapping_add(i as u64),
-            0.5 * analytic,
-        );
-        let sim = if stats.count() == 0 { 0.0 } else { stats.mean() };
-        let status = if loss < loss_crit { "alive" } else { "DEAD (ℓ > ℓ_c)" };
+    for (ana, sim) in analytic.iter().zip(&simulated) {
+        let loss = ana.scenario.loss;
+        let analytic_r = ana
+            .report
+            .as_ref()
+            .expect("analytic always prices")
+            .reliability;
+        let sim_r = sim
+            .report
+            .as_ref()
+            .expect("netsim runs every cell")
+            .reliability;
+        let status = if loss < loss_crit {
+            "alive"
+        } else {
+            "DEAD (ℓ > ℓ_c)"
+        };
         table.push(vec![
             format!("{loss:.2}"),
-            format!("{analytic:.4}"),
-            format!("{sim:.4}"),
+            format!("{analytic_r:.4}"),
+            format!("{sim_r:.4}"),
             status.into(),
         ]);
     }

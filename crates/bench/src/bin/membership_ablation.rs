@@ -3,56 +3,62 @@
 //! §3). How much reliability is lost when gossip runs over SCAMP-style
 //! partial views instead?
 //!
-//! SCAMP's claim (the paper's reference \[12\]) is that `(c+1)·ln n` views
-//! make partial-view gossip behave like uniform gossip; this experiment
-//! quantifies the residual gap as a function of `c`.
+//! Ported to the scenario API: the same scenario evaluated with
+//! [`MembershipSpec::Full`] and `Scamp { c }` through
+//! [`ProtocolBackend`], against the uniform-target analysis from
+//! [`AnalyticBackend`].
 
 use gossip_bench::{base_seed, scaled, Table};
-use gossip_model::distribution::PoissonFanout;
-use gossip_model::poisson_case;
+use gossip_model::scenario::{AnalyticBackend, Backend, FanoutSpec, MembershipSpec, Scenario};
 use gossip_netsim::membership::ScampViews;
-use gossip_protocol::engine::{ExecutionConfig, MembershipKind};
-use gossip_protocol::experiment;
+use gossip_protocol::ProtocolBackend;
 
 fn main() {
     let n = 2000;
     let (f, q) = (4.0, 0.9);
     let reps = scaled(40);
-    let dist = PoissonFanout::new(f);
-    let analytic = poisson_case::reliability(f, q).expect("supercritical");
+    let base = Scenario::new(n, FanoutSpec::poisson(f))
+        .with_failure_ratio(q)
+        .with_replications(reps)
+        .with_seed(base_seed());
+    let analytic = AnalyticBackend
+        .evaluate(&base)
+        .expect("valid scenario")
+        .reliability;
 
     let mut table = Table::new(
         format!("E10 — full view vs SCAMP partial views, n = {n}, Po({f}), q = {q}, {reps} runs"),
-        &["membership", "mean view size", "R simulated", "R analytic (uniform)"],
+        &[
+            "membership",
+            "mean view size",
+            "R simulated",
+            "R analytic (uniform)",
+        ],
     );
 
-    let full_cfg = ExecutionConfig::new(n, q);
-    // Condition on take-off throughout: the comparison is about *where
-    // the message spreads*, not about source-extinction luck.
-    let full =
-        experiment::reliability_conditional(&full_cfg, &dist, reps, base_seed(), 0.5 * analytic);
+    // The protocol backend conditions on take-off throughout: the
+    // comparison is about *where the message spreads*, not about
+    // source-extinction luck.
+    let full = ProtocolBackend.evaluate(&base).expect("valid scenario");
     table.push(vec![
         "full view".into(),
         format!("{}", n - 1),
-        format!("{:.4}", full.mean()),
+        format!("{:.4}", full.reliability),
         format!("{analytic:.4}"),
     ]);
 
     for c in [0usize, 1, 2, 4] {
-        let cfg = ExecutionConfig::new(n, q).with_membership(MembershipKind::Scamp { c });
-        let stats = experiment::reliability_conditional(
-            &cfg,
-            &dist,
-            reps,
-            base_seed().wrapping_add(c as u64),
-            0.5 * analytic,
-        );
+        let scenario = base
+            .clone()
+            .with_membership(MembershipSpec::Scamp { c })
+            .with_seed(base_seed().wrapping_add(c as u64));
+        let report = ProtocolBackend.evaluate(&scenario).expect("valid scenario");
         // Report the view size of a representative construction.
         let views = ScampViews::build(n, c, base_seed());
         table.push(vec![
             format!("SCAMP c={c}"),
             format!("{:.1}", views.mean_view_size()),
-            format!("{:.4}", stats.mean()),
+            format!("{:.4}", report.reliability),
             format!("{analytic:.4}"),
         ]);
     }

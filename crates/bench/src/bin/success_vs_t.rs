@@ -4,11 +4,13 @@
 //! This is the load-bearing assumption behind the paper's success
 //! calculus (executions as independent Bernoulli trials); the experiment
 //! measures the per-member hit rate at each `t` and overlays the
-//! analytic curve.
+//! analytic curve, which now comes from the scenario API: the
+//! [`AnalyticBackend`] report's `success_within_t` at `executions = t`.
 
 use gossip_bench::{base_seed, scaled, Table};
 use gossip_model::distribution::PoissonFanout;
-use gossip_model::{poisson_case, success};
+use gossip_model::scenario::{AnalyticBackend, Backend, FanoutSpec, Scenario};
+use gossip_model::success;
 use gossip_protocol::engine::ExecutionConfig;
 use gossip_protocol::experiment;
 
@@ -18,7 +20,7 @@ fn main() {
     let trials = scaled(300);
     let cfg = ExecutionConfig::new(n, q);
     let dist = PoissonFanout::new(f);
-    let r = poisson_case::reliability(f, q).expect("supercritical");
+    let scenario = Scenario::new(n, FanoutSpec::poisson(f)).with_failure_ratio(q);
 
     let mut table = Table::new(
         format!("E9 — Pr(member reached within t executions), n = {n}, f = {f}, q = {q}, {trials} trials"),
@@ -26,11 +28,18 @@ fn main() {
     );
     for t in 1..=6usize {
         let measured = experiment::success_within_t(&cfg, &dist, t, trials, base_seed());
-        let analytic = success::success_probability(r, t as u32);
+        let analytic = AnalyticBackend
+            .evaluate(&scenario.clone().with_executions(t as u32))
+            .expect("valid scenario")
+            .success_within_t;
         table.push_floats(&[t as f64, measured, analytic], 4);
     }
     table.print();
     table.save("e9_success_vs_t.csv");
+    let r = AnalyticBackend
+        .evaluate(&scenario)
+        .expect("valid scenario")
+        .reliability;
     println!(
         "checkpoint: Eq. 6 minimum t for ps = 0.999 at R = {r:.4} is {}",
         success::required_executions(r, 0.999).expect("achievable")

@@ -1,27 +1,30 @@
-//! Shared experiment drivers for the figure binaries.
+//! Shared experiment drivers for the figure binaries, built on the
+//! unified `Scenario` → `Backend` → `Report` API.
+//!
+//! The Figs. 4/5 sweep is one [`SweepGrid`] evaluated twice — once by
+//! [`AnalyticBackend`] (the Eq. 11 curves) and once by
+//! [`ProtocolBackend`] (the paper's 20-runs-per-point procedure) — so
+//! the binaries carry no per-layer glue of their own.
 
-use gossip_model::distribution::PoissonFanout;
-use gossip_model::percolation::SitePercolation;
+use gossip_model::scenario::{AnalyticBackend, Backend, FanoutSpec, Scenario, SweepGrid};
 use gossip_model::sweep::paper_fanout_grid;
-use gossip_protocol::engine::ExecutionConfig;
+use gossip_protocol::backend::ProtocolBackend;
 use gossip_protocol::experiment;
 use gossip_stats::binomial::Binomial;
 use gossip_stats::gof::{chi_square_pvalue, total_variation_distance};
 use gossip_stats::histogram::IntHistogram;
-use gossip_stats::rng::SplitMix64;
 
 use crate::Table;
 
 /// One `{f, q}` measurement of the Figs. 4/5 procedure.
+#[derive(Clone, Copy, Debug)]
 pub struct ReliabilityPoint {
     /// Mean fanout `f`.
     pub f: f64,
     /// Nonfailed ratio `q`.
     pub q: f64,
     /// Simulated reliability, conditioned on take-off — the estimator of
-    /// the giant-component size that the paper's analysis curves plot
-    /// (the paper also "calculate\[s\] the size of giant component for
-    /// each case"). For subcritical points this equals the raw mean.
+    /// the giant-component size that the paper's analysis curves plot.
     pub simulated: f64,
     /// Unconditional mean over all replications (duds included); drops
     /// toward `R²` at moderate reliability — reported in the CSVs for
@@ -33,58 +36,59 @@ pub struct ReliabilityPoint {
     pub analytic: f64,
 }
 
+/// The Figs. 4/5 scenario grid: Poisson fanout over the paper's grid,
+/// one failure-ratio row per `q`, `reps` protocol runs per point.
+pub fn fig45_grid(n: usize, qs: &[f64], reps: usize, base_seed: u64) -> SweepGrid {
+    let base = Scenario::new(n, FanoutSpec::poisson(4.0))
+        .with_replications(reps)
+        .with_seed(base_seed);
+    SweepGrid::new(base)
+        .over_failure_ratios(qs)
+        .over_poisson_means(&paper_fanout_grid())
+}
+
 /// Runs the Figs. 4/5 sweep: reliability vs mean fanout for each `q`,
 /// on groups of `n` members; `reps` runs per point (paper: 20).
+///
+/// Points are ordered `q`-major (all fanouts of `qs[0]` first), the
+/// layout [`reliability_table`] expects.
 pub fn reliability_vs_fanout(
     n: usize,
     qs: &[f64],
     reps: usize,
     base_seed: u64,
 ) -> Vec<ReliabilityPoint> {
-    let grid = paper_fanout_grid();
-    let mut points = Vec::with_capacity(qs.len() * grid.len());
-    for (qi, &q) in qs.iter().enumerate() {
-        let cfg = ExecutionConfig::new(n, q);
-        for (fi, &f) in grid.iter().enumerate() {
-            let dist = PoissonFanout::new(f);
-            let seed = SplitMix64::derive(base_seed, (qi * 1000 + fi) as u64);
-            let analytic = SitePercolation::new(&dist, q)
-                .expect("q validated by ExecutionConfig")
-                .reliability()
-                .expect("Poisson percolation always converges");
-            let outcomes = experiment::executions(&cfg, &dist, reps, seed);
-            let mut raw = 0.0;
-            let mut takeoff_sum = 0.0;
-            let mut takeoffs = 0usize;
-            // An execution "takes off" when it escapes the source's
-            // neighbourhood; half the analytic prediction separates the
-            // two modes cleanly. Subcritical points have one mode only.
-            let threshold = 0.5 * analytic;
-            for o in &outcomes {
-                let r = o.reliability();
-                raw += r;
-                if analytic < 0.05 || r > threshold {
-                    takeoff_sum += r;
-                    takeoffs += 1;
-                }
-            }
-            raw /= outcomes.len() as f64;
-            let simulated = if takeoffs == 0 {
-                0.0
-            } else {
-                takeoff_sum / takeoffs as f64
+    let grid = fig45_grid(n, qs, reps, base_seed);
+    let analytic = grid.run(&AnalyticBackend);
+    let simulated = grid.run(&ProtocolBackend);
+    // Cell order is fanout-major (the grid's outer axis); the table
+    // layout wants q-major.
+    let cells: Vec<ReliabilityPoint> = analytic
+        .iter()
+        .zip(&simulated)
+        .map(|(ana, sim)| {
+            let scenario = &ana.scenario;
+            let f = match scenario.fanout {
+                FanoutSpec::Poisson { mean } => mean,
+                _ => unreachable!("fig45 grid is Poisson"),
             };
-            points.push(ReliabilityPoint {
+            let ana = ana.report.as_ref().expect("analytic evaluates every cell");
+            let sim = sim.report.as_ref().expect("protocol evaluates every cell");
+            ReliabilityPoint {
                 f,
-                q,
-                simulated,
-                simulated_raw: raw,
-                takeoff_rate: takeoffs as f64 / outcomes.len() as f64,
-                analytic,
-            });
-        }
-    }
-    points
+                q: scenario.q().expect("grid rows are failure ratios"),
+                simulated: sim.reliability,
+                simulated_raw: sim.reliability_raw.expect("protocol reports raw mean"),
+                takeoff_rate: sim.takeoff_rate.expect("protocol reports take-off"),
+                analytic: ana.reliability,
+            }
+        })
+        .collect();
+    let (nf, nq) = (paper_fanout_grid().len(), qs.len());
+    (0..nq)
+        .flat_map(|qi| (0..nf).map(move |fi| (fi, qi)))
+        .map(|(fi, qi)| cells[fi * nq + qi])
+        .collect()
 }
 
 /// Formats a [`reliability_vs_fanout`] sweep as a table with one
@@ -152,6 +156,9 @@ pub struct SuccessCountFigure {
 }
 
 /// Runs the success-count experiment for `{f, q}` at group size `n`.
+/// The per-execution histogram machinery stays on the experiment
+/// harness (the §4.2 variable `X` is not a per-scenario scalar); the
+/// analytic reference line comes from the scenario API.
 pub fn success_count_figure(
     n: usize,
     f: f64,
@@ -160,19 +167,35 @@ pub fn success_count_figure(
     sims: usize,
     base_seed: u64,
 ) -> SuccessCountFigure {
-    let cfg = ExecutionConfig::new(n, q);
-    let dist = PoissonFanout::new(f);
-    let histogram = experiment::member_receipt_distribution(&cfg, &dist, execs, sims, base_seed);
+    let scenario = Scenario::new(n, FanoutSpec::poisson(f))
+        .with_failure_ratio(q)
+        .with_seed(base_seed);
+    // The per-member histogram needs a `Clone` distribution, so the
+    // experiment harness gets a concrete PoissonFanout — but both it and
+    // the ExecutionConfig are derived from the scenario's own fields so
+    // the analytic overlay and the simulation cannot diverge.
+    let dist = match scenario.fanout {
+        FanoutSpec::Poisson { mean } => gossip_model::PoissonFanout::new(mean),
+        _ => unreachable!("success-count figures are Poisson"),
+    };
+    let cfg = gossip_protocol::engine::ExecutionConfig::new(
+        scenario.n,
+        scenario.q().expect("ratio failure model"),
+    );
+    let histogram =
+        experiment::member_receipt_distribution(&cfg, &dist, execs, sims, scenario.seed);
     let strict = experiment::success_count_distribution(
         &cfg,
         &dist,
         execs,
         (sims / 10).max(1),
-        base_seed ^ 0xDEAD,
+        scenario.seed ^ 0xDEAD,
     );
 
-    let analytic_r = gossip_model::poisson_case::reliability(f, q)
-        .expect("parameters validated upstream");
+    let analytic_r = AnalyticBackend
+        .evaluate(&scenario)
+        .expect("parameters validated upstream")
+        .reliability;
     let analytic = Binomial::new(execs as u64, analytic_r);
     let analytic_directed = Binomial::new(execs as u64, analytic_r * analytic_r);
     let sim_pmf = histogram.pmf_vector();
@@ -196,7 +219,12 @@ pub fn success_count_figure(
 pub fn success_count_table(title: &str, fig: &SuccessCountFigure) -> Table {
     let mut table = Table::new(
         title,
-        &["k", "Pr(X=k) sim", "Pr(X=k) B(t,R) [paper]", "Pr(X=k) B(t,R^2) [directed]"],
+        &[
+            "k",
+            "Pr(X=k) sim",
+            "Pr(X=k) B(t,R) [paper]",
+            "Pr(X=k) B(t,R^2) [directed]",
+        ],
     );
     for k in 0..fig.histogram.buckets() {
         table.push_floats(
@@ -208,6 +236,37 @@ pub fn success_count_table(title: &str, fig: &SuccessCountFigure) -> Table {
             ],
             4,
         );
+    }
+    table
+}
+
+/// Renders paired analytic/simulated sweep cells (same grid, two
+/// backends) as a comparison table — the generic porting target for
+/// sweep-style binaries.
+pub fn backend_comparison_table(
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    cells: &[(String, Vec<gossip_model::scenario::SweepCell>)],
+) -> Table {
+    let mut headers = vec![x_label.to_string()];
+    for (name, _) in cells {
+        headers.push(format!("R {name}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+    for (i, &x) in xs.iter().enumerate() {
+        let mut row = vec![x];
+        for (_, backend_cells) in cells {
+            row.push(
+                backend_cells[i]
+                    .report
+                    .as_ref()
+                    .map(|r| r.reliability)
+                    .unwrap_or(f64::NAN),
+            );
+        }
+        table.push_floats(&row, 4);
     }
     table
 }

@@ -194,7 +194,9 @@ fn bounds(v: &[f64]) -> (f64, f64) {
 }
 
 fn scale_to(v: f64, lo: f64, hi: f64, max_idx: usize) -> usize {
-    (((v - lo) / (hi - lo)) * max_idx as f64).round().clamp(0.0, max_idx as f64) as usize
+    (((v - lo) / (hi - lo)) * max_idx as f64)
+        .round()
+        .clamp(0.0, max_idx as f64) as usize
 }
 
 #[cfg(test)]
@@ -234,7 +236,10 @@ mod tests {
     #[test]
     fn ascii_plot_contains_marks() {
         let s = ascii_plot(
-            &[("up", vec![(0.0, 0.0), (1.0, 1.0)]), ("down", vec![(0.0, 1.0)])],
+            &[
+                ("up", vec![(0.0, 0.0), (1.0, 1.0)]),
+                ("down", vec![(0.0, 1.0)]),
+            ],
             20,
             8,
         );

@@ -50,13 +50,7 @@ pub fn min_nonfailed_ratio<D: FanoutDistribution + ?Sized>(
     if reliability_at(lo) >= target_r {
         return Ok(lo);
     }
-    bisect(
-        |q| reliability_at(q) - target_r,
-        lo,
-        1.0,
-        DESIGN_TOL,
-        200,
-    )
+    bisect(|q| reliability_at(q) - target_r, lo, 1.0, DESIGN_TOL, 200)
 }
 
 /// Maximum tolerable failure ratio `1 − q_min` (see

@@ -19,7 +19,10 @@ impl MixtureFanout {
     /// normalized to sum to 1. Panics on empty input or non-positive total
     /// weight.
     pub fn new(components: Vec<(f64, Box<dyn FanoutDistribution>)>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         let total: f64 = components.iter().map(|(w, _)| *w).sum();
         assert!(
             total.is_finite() && total > 0.0,
@@ -114,7 +117,10 @@ mod tests {
 
     fn relay_mixture() -> MixtureFanout {
         MixtureFanout::new(vec![
-            (0.9, Box::new(FixedFanout::new(2)) as Box<dyn FanoutDistribution>),
+            (
+                0.9,
+                Box::new(FixedFanout::new(2)) as Box<dyn FanoutDistribution>,
+            ),
             (0.1, Box::new(PoissonFanout::new(20.0))),
         ])
     }
@@ -144,7 +150,10 @@ mod tests {
     #[test]
     fn weights_normalize() {
         let m = MixtureFanout::new(vec![
-            (3.0, Box::new(FixedFanout::new(1)) as Box<dyn FanoutDistribution>),
+            (
+                3.0,
+                Box::new(FixedFanout::new(1)) as Box<dyn FanoutDistribution>,
+            ),
             (1.0, Box::new(FixedFanout::new(5))),
         ]);
         assert!((m.pmf(1) - 0.75).abs() < 1e-12);
@@ -155,7 +164,10 @@ mod tests {
     #[test]
     fn sampling_hits_both_components() {
         let m = MixtureFanout::new(vec![
-            (0.5, Box::new(FixedFanout::new(1)) as Box<dyn FanoutDistribution>),
+            (
+                0.5,
+                Box::new(FixedFanout::new(1)) as Box<dyn FanoutDistribution>,
+            ),
             (0.5, Box::new(FixedFanout::new(9))),
         ]);
         let mut rng = Xoshiro256StarStar::new(31);

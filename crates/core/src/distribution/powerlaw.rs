@@ -27,7 +27,10 @@ impl PowerLawFanout {
     /// Creates a truncated power law with exponent `α > 0` on
     /// `[kmin, kmax]`, `1 ≤ kmin ≤ kmax`.
     pub fn new(alpha: f64, kmin: usize, kmax: usize) -> Self {
-        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive, got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha must be positive, got {alpha}"
+        );
         assert!(kmin >= 1, "kmin must be >= 1 (k^-alpha undefined at 0)");
         assert!(kmin <= kmax, "need kmin <= kmax, got [{kmin}, {kmax}]");
         let mut weights = vec![0.0f64; kmax + 1];

@@ -33,6 +33,15 @@ pub enum ModelError {
         /// What was requested.
         what: &'static str,
     },
+    /// A scenario feature is outside an evaluation backend's model
+    /// (e.g. crash schedules under the analytic generating-function
+    /// model, which is untimed).
+    Unsupported {
+        /// The backend that rejected the scenario.
+        backend: &'static str,
+        /// The unsupported feature.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -44,10 +53,16 @@ impl fmt::Display for ModelError {
                 requirement,
             } => write!(f, "invalid parameter {name} = {value}: {requirement}"),
             ModelError::NoConvergence { what, iterations } => {
-                write!(f, "solver for {what} did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "solver for {what} did not converge after {iterations} iterations"
+                )
             }
             ModelError::Degenerate { why } => write!(f, "degenerate model: {why}"),
             ModelError::Unachievable { what } => write!(f, "unachievable target: {what}"),
+            ModelError::Unsupported { backend, what } => {
+                write!(f, "backend {backend} does not support {what}")
+            }
         }
     }
 }

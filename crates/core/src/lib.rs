@@ -31,7 +31,39 @@
 //!    (Eq. 12; [`poisson_case::mean_fanout_for`]) and a bisection-based
 //!    generalization for any scalable family ([`design`]).
 //!
-//! ## Quick example
+//! ## Quick example — the scenario API
+//!
+//! The recommended entry point is the unified [`scenario`] module: a
+//! declarative [`Scenario`] evaluated by any [`Backend`] into a typed
+//! [`Report`]. This crate hosts the exact generating-function layer
+//! ([`AnalyticBackend`]); the graph, protocol, and netsim layers
+//! implement the same trait in their own crates and the workspace-root
+//! `gossip` crate re-exports all four side by side.
+//!
+//! ```
+//! use gossip_model::{AnalyticBackend, Backend, FanoutSpec, Scenario, SweepGrid};
+//!
+//! // 1000 members, Poisson fanout with mean 4, 10% of members crash.
+//! let scenario = Scenario::new(1000, FanoutSpec::poisson(4.0)).with_failure_ratio(0.9);
+//! let report = AnalyticBackend.evaluate(&scenario).unwrap();
+//! assert!((report.reliability - 0.9695).abs() < 1e-3); // Eq. 11
+//! assert!((report.critical_q.unwrap() - 0.25).abs() < 1e-12); // Eq. 10
+//!
+//! // Grids fan over all cores with deterministic per-cell seeds.
+//! let cells = SweepGrid::new(scenario)
+//!     .over_failure_ratios(&[0.5, 0.7, 0.9])
+//!     .run(&AnalyticBackend);
+//! assert_eq!(cells.len(), 3);
+//! ```
+//!
+//! Scenarios are serde-friendly: a `Scenario` (and a `Report`)
+//! round-trips through `serde::json`, so experiment descriptions can
+//! live in files and results can be archived as data.
+//!
+//! ## The model façade
+//!
+//! The underlying model object [`Gossip`] remains available for direct
+//! analytical work:
 //!
 //! ```
 //! use gossip_model::{Gossip, PoissonFanout};
@@ -50,6 +82,11 @@
 //!
 //! ## Crate layout
 //!
+//! * [`scenario`] — the unified `Scenario` → `Backend` → `Report` API:
+//!   declarative experiment descriptions ([`FanoutSpec`],
+//!   [`FailureSpec`], [`MembershipSpec`], [`ProtocolSpec`],
+//!   [`LatencySpec`]), the object-safe [`Backend`] trait, the exact
+//!   [`AnalyticBackend`], and the parallel [`SweepGrid`] runner.
 //! * [`distribution`] — the [`FanoutDistribution`] trait (pmf, generating
 //!   functions `G0`/`G1`, sampling) and eight implementations: Poisson,
 //!   fixed, binomial, geometric, discrete-uniform, truncated power-law,
@@ -81,6 +118,7 @@ pub mod loss;
 pub mod model;
 pub mod percolation;
 pub mod poisson_case;
+pub mod scenario;
 pub mod series;
 pub mod solver;
 pub mod success;
@@ -93,6 +131,10 @@ pub use distribution::{
 pub use error::ModelError;
 pub use model::Gossip;
 pub use percolation::SitePercolation;
+pub use scenario::{
+    AnalyticBackend, Backend, FailureSpec, FanoutSpec, LatencySpec, MembershipSpec, ProtocolSpec,
+    Report, Scenario, SweepCell, SweepGrid,
+};
 
 /// Default truncation/convergence tolerance used across the crate.
 pub const DEFAULT_EPS: f64 = 1e-12;

@@ -185,7 +185,10 @@ mod tests {
         assert_eq!(m.critical_loss(), None);
         // Fixed(1) never percolates at all.
         let f1 = FixedFanout::new(1);
-        assert_eq!(LossyGossip::new(&f1, 1.0, 0.0).unwrap().critical_loss(), None);
+        assert_eq!(
+            LossyGossip::new(&f1, 1.0, 0.0).unwrap().critical_loss(),
+            None
+        );
     }
 
     #[test]
@@ -194,7 +197,10 @@ mod tests {
         let mut last = 1.0;
         for i in 0..8 {
             let loss = i as f64 * 0.1;
-            let r = LossyGossip::new(&d, 0.9, loss).unwrap().reliability().unwrap();
+            let r = LossyGossip::new(&d, 0.9, loss)
+                .unwrap()
+                .reliability()
+                .unwrap();
             assert!(r <= last + 1e-12, "loss {loss}: R must fall");
             last = r;
         }

@@ -58,9 +58,12 @@ impl<D: FanoutDistribution> Gossip<D> {
         &self.dist
     }
 
-    /// Number of nonfailed members `⌊n·q⌋` (paper: `n_nonfailed = [n·q]`).
+    /// Number of nonfailed members `[n·q]`, rounded to the nearest
+    /// integer — the paper's bracket notation `n_nonfailed = [n·q]`
+    /// denotes rounding, not floor (e.g. `n = 10, q = 0.25` gives 3,
+    /// matching the expected count `2.5` to the nearest member).
     pub fn nonfailed_count(&self) -> usize {
-        (self.n as f64 * self.q).floor() as usize
+        (self.n as f64 * self.q).round() as usize
     }
 
     /// The percolation view of this model.
@@ -82,9 +85,7 @@ impl<D: FanoutDistribution> Gossip<D> {
     /// Critical nonfailed ratio `q_c` (Eq. 3); `None` if the distribution
     /// can never percolate.
     pub fn critical_q(&self) -> Option<f64> {
-        SitePercolation::new(&self.dist, self.q)
-            .ok()
-            .and_then(|p| p.critical_q())
+        self.percolation().ok().and_then(|p| p.critical_q())
     }
 
     /// Whether the configured `q` is above the critical point — i.e. the
@@ -170,5 +171,15 @@ mod tests {
         assert_eq!(g.q(), 0.75);
         assert!((g.distribution().z() - 2.5).abs() < 1e-15);
         assert_eq!(g.nonfailed_count(), 375);
+    }
+
+    #[test]
+    fn nonfailed_count_rounds_to_nearest() {
+        // The paper's [n·q] is rounding, not floor: 10 · 0.25 = 2.5 → 3.
+        let g = Gossip::new(10, PoissonFanout::new(4.0), 0.25).unwrap();
+        assert_eq!(g.nonfailed_count(), 3);
+        // 10 · 0.24 = 2.4 → 2.
+        let g = Gossip::new(10, PoissonFanout::new(4.0), 0.24).unwrap();
+        assert_eq!(g.nonfailed_count(), 2);
     }
 }

@@ -166,7 +166,10 @@ mod tests {
         let r1 = poisson_reliability(4.0, 0.9);
         let r2 = poisson_reliability(6.0, 0.6);
         assert!((r1 - 0.969_506).abs() < 1e-5, "R(4.0, 0.9) = {r1}");
-        assert!((r1 - 0.967).abs() < 4e-3, "must stay near the paper's 0.967");
+        assert!(
+            (r1 - 0.967).abs() < 4e-3,
+            "must stay near the paper's 0.967"
+        );
         assert!((r1 - r2).abs() < 1e-9, "identical f·q must match");
     }
 
@@ -294,10 +297,16 @@ mod tests {
         // U[2,6] has the same mean as Po(4); reliabilities should be in
         // the same ballpark but not equal.
         let u = UniformFanout::new(2, 6);
-        let ru = SitePercolation::new(&u, 0.9).unwrap().reliability().unwrap();
+        let ru = SitePercolation::new(&u, 0.9)
+            .unwrap()
+            .reliability()
+            .unwrap();
         assert!(ru > 0.9, "U[2,6] at q=0.9 should be highly reliable: {ru}");
         let e = EmpiricalFanout::new(&[0.0, 0.0, 0.2, 0.2, 0.2, 0.2, 0.2]);
-        let re = SitePercolation::new(&e, 0.9).unwrap().reliability().unwrap();
+        let re = SitePercolation::new(&e, 0.9)
+            .unwrap()
+            .reliability()
+            .unwrap();
         assert!((ru - re).abs() < 1e-9, "same table, same result");
     }
 

@@ -116,10 +116,7 @@ mod tests {
         for &(z, q) in &[(1.5, 1.0), (2.0, 0.9), (4.0, 0.9), (6.0, 0.6), (6.7, 0.4)] {
             let closed = reliability(z, q).unwrap();
             let d = PoissonFanout::new(z);
-            let generic = SitePercolation::new(&d, q)
-                .unwrap()
-                .reliability()
-                .unwrap();
+            let generic = SitePercolation::new(&d, q).unwrap().reliability().unwrap();
             assert!(
                 (closed - generic).abs() < 1e-9,
                 "z={z}, q={q}: closed {closed} vs generic {generic}"
@@ -194,7 +191,10 @@ mod tests {
         let eps = max_tolerable_failure(4.0, 0.9).unwrap();
         let q_min = 1.0 - eps;
         let r = reliability(4.0, q_min).unwrap();
-        assert!((r - 0.9).abs() < 1e-9, "at q_min reliability should hit target, got {r}");
+        assert!(
+            (r - 0.9).abs() < 1e-9,
+            "at q_min reliability should hit target, got {r}"
+        );
         // Slightly fewer failures → above target; more → below.
         assert!(reliability(4.0, q_min + 0.01).unwrap() > 0.9);
         assert!(reliability(4.0, q_min - 0.01).unwrap() < 0.9);

@@ -53,7 +53,7 @@ pub fn smallest_fixed_point<F: Fn(f64) -> f64>(
             });
         }
         // Aitken Δ² every 4 plain steps: u* ≈ u − (Δ1)² / (Δ2 − Δ1).
-        if iterations % 4 == 0 {
+        if iterations.is_multiple_of(4) {
             let u2 = clamp(phi(u1));
             iterations += 1;
             let d1 = u1 - u;
@@ -167,8 +167,8 @@ mod tests {
         // φ(u) = 1 − q + q·u² with q = 0.9 has fixed points u = 1/9·...:
         // u = q u² − u + 1 − q = 0 → roots u = 1 and u = (1−q)/q = 1/9.
         let q = 0.9;
-        let fp = smallest_fixed_point(|u| 1.0 - q + q * u * u, 0.0, 0.0, 1.0, 1e-14, 100_000)
-            .unwrap();
+        let fp =
+            smallest_fixed_point(|u| 1.0 - q + q * u * u, 0.0, 0.0, 1.0, 1e-14, 100_000).unwrap();
         assert!(
             (fp.value - (1.0 - q) / q).abs() < 1e-10,
             "got {} expected {}",
@@ -181,8 +181,8 @@ mod tests {
     fn fixed_point_trivial_root_when_subcritical() {
         // q below critical: only fixed point in [0,1] is u = 1.
         let q = 0.3;
-        let fp = smallest_fixed_point(|u| 1.0 - q + q * u * u, 0.0, 0.0, 1.0, 1e-12, 100_000)
-            .unwrap();
+        let fp =
+            smallest_fixed_point(|u| 1.0 - q + q * u * u, 0.0, 0.0, 1.0, 1e-12, 100_000).unwrap();
         assert!((fp.value - 1.0).abs() < 1e-6, "got {}", fp.value);
     }
 
@@ -190,8 +190,8 @@ mod tests {
     fn fixed_point_near_critical_converges() {
         // Exactly at criticality (q such that φ'(1) = 1): 2q = 1.
         let q = 0.5 + 1e-6;
-        let fp = smallest_fixed_point(|u| 1.0 - q + q * u * u, 0.0, 0.0, 1.0, 1e-12, 2_000_000)
-            .unwrap();
+        let fp =
+            smallest_fixed_point(|u| 1.0 - q + q * u * u, 0.0, 0.0, 1.0, 1e-12, 2_000_000).unwrap();
         let expected = (1.0 - q) / q;
         assert!((fp.value - expected).abs() < 1e-5, "got {}", fp.value);
     }

@@ -1,15 +1,15 @@
 //! Parameter-sweep series for the paper's analytic figures.
 //!
-//! The bench harness regenerates each figure from these functions; they
-//! produce plain `(x, y)` series so the printing/CSV layer stays dumb.
+//! The Fig. 2/3 sweeps moved onto the scenario API
+//! ([`crate::scenario::SweepGrid`]); what remains here is the
+//! Figs. 4/5 analytic curve helper and the paper's fanout grid, both
+//! still shared by the bench harness.
 
 use serde::{Deserialize, Serialize};
 
 use crate::distribution::PoissonFanout;
 use crate::error::ModelError;
 use crate::percolation::SitePercolation;
-use crate::poisson_case;
-use crate::success;
 
 /// One point of an analytic curve.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -27,58 +27,6 @@ pub struct Curve {
     pub label: String,
     /// The points, in increasing `x`.
     pub points: Vec<SweepPoint>,
-}
-
-/// Fig. 2 — mean fanout `z` required for reliability `S` (Eq. 12), one
-/// curve per `q`.
-///
-/// `s_range` is swept inclusively from `s_min` to `s_max` in `steps`
-/// points (the paper uses S ∈ [0.1111, 0.9999]).
-pub fn fig2_fanout_vs_reliability(
-    qs: &[f64],
-    s_min: f64,
-    s_max: f64,
-    steps: usize,
-) -> Result<Vec<Curve>, ModelError> {
-    assert!(steps >= 2, "need at least 2 sweep points");
-    let mut curves = Vec::with_capacity(qs.len());
-    for &q in qs {
-        let mut points = Vec::with_capacity(steps);
-        for i in 0..steps {
-            let s = s_min + (s_max - s_min) * i as f64 / (steps - 1) as f64;
-            let z = poisson_case::mean_fanout_for(s, q)?;
-            points.push(SweepPoint { x: s, y: z });
-        }
-        curves.push(Curve {
-            label: format!("q={q}"),
-            points,
-        });
-    }
-    Ok(curves)
-}
-
-/// Fig. 3 — minimum executions `t` for gossip success `p_s` as a function
-/// of per-execution reliability `S` (Eq. 6).
-pub fn fig3_required_executions(
-    p_s: f64,
-    s_min: f64,
-    s_max: f64,
-    steps: usize,
-) -> Result<Curve, ModelError> {
-    assert!(steps >= 2, "need at least 2 sweep points");
-    let mut points = Vec::with_capacity(steps);
-    for i in 0..steps {
-        let s = s_min + (s_max - s_min) * i as f64 / (steps - 1) as f64;
-        let t = success::required_executions(s, p_s)?;
-        points.push(SweepPoint {
-            x: s,
-            y: t as f64,
-        });
-    }
-    Ok(Curve {
-        label: format!("ps={p_s}"),
-        points,
-    })
 }
 
 /// The analytic curves of Figs. 4/5 — reliability vs. mean fanout for a
@@ -124,39 +72,6 @@ pub fn paper_fanout_grid() -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn fig2_curves_shape() {
-        let curves =
-            fig2_fanout_vs_reliability(&[0.2, 0.4, 0.6, 0.8, 1.0], 0.1111, 0.9999, 50).unwrap();
-        assert_eq!(curves.len(), 5);
-        for c in &curves {
-            assert_eq!(c.points.len(), 50);
-            // z grows with S within each curve.
-            for w in c.points.windows(2) {
-                assert!(w[1].y >= w[0].y, "{}: z not monotone in S", c.label);
-            }
-        }
-        // Smaller q needs larger fanout at the same S.
-        let z_q02 = curves[0].points[25].y;
-        let z_q10 = curves[4].points[25].y;
-        assert!(z_q02 > z_q10);
-        // Paper: z tops out near 50 at q = 0.2, S = 0.9999.
-        let z_max = curves[0].points.last().unwrap().y;
-        assert!((40.0..50.5).contains(&z_max), "z_max = {z_max}");
-    }
-
-    #[test]
-    fn fig3_curve_shape() {
-        let c = fig3_required_executions(0.999, 0.2, 0.99, 80).unwrap();
-        assert_eq!(c.points.len(), 80);
-        for w in c.points.windows(2) {
-            assert!(w[1].y <= w[0].y, "t must fall as S rises");
-        }
-        // Paper Fig. 3: t reaches ~20 at the small-S end, ~2 near S=0.95.
-        assert!(c.points[0].y >= 20.0);
-        assert!(c.points.last().unwrap().y <= 3.0);
-    }
 
     #[test]
     fn fig45_curves_shape() {

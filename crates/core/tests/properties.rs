@@ -136,8 +136,8 @@ proptest! {
         let hi = lo + span;
         let u = UniformFanout::new(lo, hi);
         let mut w = vec![0.0; hi + 1];
-        for k in lo..=hi {
-            w[k] = 1.0;
+        for slot in w.iter_mut().take(hi + 1).skip(lo) {
+            *slot = 1.0;
         }
         let e = EmpiricalFanout::new(&w);
         let ru = SitePercolation::new(&u, q).unwrap().reliability().unwrap();

@@ -87,7 +87,10 @@ mod tests {
             time: SimTime::ZERO,
             seq: 0,
             target: 3,
-            kind: EventKind::Deliver { from: 1, msg: 42u32 },
+            kind: EventKind::Deliver {
+                from: 1,
+                msg: 42u32,
+            },
         };
         match e.kind {
             EventKind::Deliver { from, msg } => {

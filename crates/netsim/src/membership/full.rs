@@ -52,7 +52,7 @@ mod tests {
         assert_eq!(view.group_size(), 50);
         assert_eq!(view.view_size(7), 49);
         let mut rng = Xoshiro256StarStar::new(5);
-        let mut hits = vec![0u32; 50];
+        let mut hits = [0u32; 50];
         for _ in 0..20_000 {
             let mut out = Vec::new();
             view.sample_targets(0, 3, &mut rng, &mut out);

@@ -36,10 +36,10 @@ impl ScampViews {
         // Bootstrap: a small ring among the first few members so early
         // subscriptions have somewhere to land.
         let boot = (c + 2).min(n);
-        for i in 0..boot {
+        for (i, view) in views.iter_mut().enumerate().take(boot) {
             let next = ((i + 1) % boot) as NodeId;
             if next != i as NodeId {
-                views[i].push(next);
+                view.push(next);
             }
         }
 
@@ -73,10 +73,7 @@ impl ScampViews {
                     hops += 1;
                     let view = &mut views[holder as usize];
                     let keep_p = 1.0 / (1.0 + view.len() as f64);
-                    if holder != j
-                        && !view.contains(&j)
-                        && (rng.next_bool(keep_p) || hops >= 50)
-                    {
+                    if holder != j && !view.contains(&j) && (rng.next_bool(keep_p) || hops >= 50) {
                         view.push(j);
                         break;
                     }

@@ -1,7 +1,7 @@
 //! The future-event list: a binary min-heap keyed on `(time, seq)`.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::event::{Event, EventKind, NodeId};
 use crate::time::SimTime;

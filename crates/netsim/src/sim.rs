@@ -292,7 +292,12 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
     }
 
     /// Turns buffered sends/timers into scheduled events.
-    fn flush(&mut self, sender: NodeId, outbox: &mut Vec<(NodeId, M)>, timers: &mut Vec<(SimDuration, u64)>) {
+    fn flush(
+        &mut self,
+        sender: NodeId,
+        outbox: &mut Vec<(NodeId, M)>,
+        timers: &mut Vec<(SimDuration, u64)>,
+    ) {
         for (to, msg) in outbox.drain(..) {
             self.metrics.messages_sent += 1;
             match self.network.transmit(&mut self.rng) {
@@ -300,8 +305,11 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
                     if let Some(t) = &mut self.tracer {
                         t.record(self.now, sender, TraceKind::Sent { to });
                     }
-                    self.queue
-                        .schedule(self.now + latency, to, EventKind::Deliver { from: sender, msg });
+                    self.queue.schedule(
+                        self.now + latency,
+                        to,
+                        EventKind::Deliver { from: sender, msg },
+                    );
                 }
                 None => {
                     self.metrics.messages_lost += 1;
@@ -482,7 +490,10 @@ mod tests {
         sim.inject(0, 0, 1);
         sim.run_to_quiescence();
         let m = sim.metrics();
-        assert_eq!(m.messages_sent, m.messages_lost + (m.messages_delivered - 1));
+        assert_eq!(
+            m.messages_sent,
+            m.messages_lost + (m.messages_delivered - 1)
+        );
     }
 
     #[test]

@@ -185,7 +185,12 @@ mod tests {
         assert_eq!(d.mul_f64(2.0).as_nanos(), 20_000_000);
         assert_eq!(d.mul_f64(0.0).as_nanos(), 0);
         assert_eq!(d.mul_f64(-1.0).as_nanos(), 0);
-        assert_eq!(SimDuration::from_nanos(u64::MAX / 2).mul_f64(1e9).as_nanos(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_nanos(u64::MAX / 2)
+                .mul_f64(1e9)
+                .as_nanos(),
+            u64::MAX
+        );
     }
 
     #[test]

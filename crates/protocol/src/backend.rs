@@ -1,0 +1,402 @@
+//! The protocol-engine and netsim evaluation layers of the unified
+//! `Scenario` → `Backend` → `Report` API.
+//!
+//! Two backends share one Monte-Carlo runner:
+//!
+//! * [`ProtocolBackend`] — the paper's §5 experiment, exactly: the
+//!   protocol runs on an *idealized* network (lossless, constant
+//!   latency). Scenarios that ask for loss, non-default latency, or
+//!   crash schedules are rejected as [`ModelError::Unsupported`] — use
+//!   the netsim backend for those.
+//! * [`NetSimBackend`] — the full discrete-event network simulation:
+//!   latency models, independent per-message loss, and scheduled
+//!   mid-run crash injection, plus timing metrics (`quiescence_secs`).
+//!
+//! Both condition reliability on *take-off* (executions that escape the
+//! source's neighbourhood), the estimator of the giant-component size
+//! that the analytic curves plot — see
+//! `gossip_protocol::experiment::reliability_conditional` for why.
+
+use std::sync::Arc;
+
+use gossip_model::distribution::FanoutDistribution;
+use gossip_model::loss::LossyGossip;
+use gossip_model::percolation::SitePercolation;
+use gossip_model::scenario::{
+    Backend, FailureSpec, LatencySpec, MembershipSpec, ProtocolSpec, Report, Scenario,
+};
+use gossip_model::{success, ModelError};
+use gossip_netsim::{FailurePlan, LatencyModel, NetworkConfig, SimDuration};
+use gossip_stats::descriptive::OnlineStats;
+use gossip_stats::parallel::parallel_map;
+use gossip_stats::rng::SplitMix64;
+
+use crate::engine::{run_execution_with_plan, ExecutionConfig, ExecutionOutcome, MembershipKind};
+use crate::flood::Flooding;
+use crate::message::{GossipMessage, MessageId};
+use crate::push::PushGossip;
+use crate::pushpull::{PullMessage, PushPullGossip};
+
+/// Pull budget and period used when a scenario selects
+/// [`ProtocolSpec::PushPull`]: one pull per 5 ms, up to 10 pulls — the
+/// defaults the protocol's own tests exercise.
+const PULL_BUDGET: u32 = 10;
+const PULL_PERIOD_MS: u64 = 5;
+
+fn latency_model(spec: LatencySpec) -> LatencyModel {
+    match spec {
+        LatencySpec::ConstantMillis { ms } => LatencyModel::constant_millis(ms),
+        LatencySpec::UniformMillis { lo_ms, hi_ms } => LatencyModel::Uniform {
+            lo: SimDuration::from_millis(lo_ms),
+            hi: SimDuration::from_millis(hi_ms),
+        },
+        LatencySpec::ExponentialMillis { mean_ms } => LatencyModel::Exponential {
+            mean: SimDuration::from_millis(mean_ms),
+        },
+    }
+}
+
+fn membership_kind(spec: MembershipSpec) -> MembershipKind {
+    match spec {
+        MembershipSpec::Full => MembershipKind::Full,
+        MembershipSpec::Scamp { c } => MembershipKind::Scamp { c },
+    }
+}
+
+fn failure_plan(scenario: &Scenario, source: u32) -> FailurePlan {
+    match &scenario.failure {
+        FailureSpec::None => FailurePlan::None,
+        FailureSpec::Random { q } => FailurePlan::paper_model(*q, source),
+        FailureSpec::Schedule { crashes } => FailurePlan::CrashAtTimes(
+            crashes
+                .iter()
+                .map(|&(ns, node)| (gossip_netsim::SimTime::from_nanos(ns), node))
+                .collect(),
+        ),
+    }
+}
+
+/// Runs one execution of the scenario's protocol variant.
+fn run_variant(
+    cfg: &ExecutionConfig,
+    protocol: ProtocolSpec,
+    dist: &Arc<dyn FanoutDistribution>,
+    plan: &FailurePlan,
+    seed: u64,
+) -> ExecutionOutcome {
+    fn inject_push<P: gossip_netsim::NodeBehavior<GossipMessage>>(
+        seed: u64,
+    ) -> impl FnOnce(&mut gossip_netsim::Simulator<GossipMessage, P>, u32) {
+        move |sim, source| {
+            sim.inject(
+                source,
+                source,
+                GossipMessage::new(MessageId(seed), &b"payload"[..]),
+            );
+        }
+    }
+    match protocol {
+        ProtocolSpec::Push => {
+            let shared = dist.clone();
+            run_execution_with_plan(
+                cfg,
+                |_| PushGossip::new(shared.clone()),
+                seed,
+                plan,
+                inject_push(seed),
+            )
+        }
+        ProtocolSpec::Flood => {
+            run_execution_with_plan(cfg, |_| Flooding::new(), seed, plan, inject_push(seed))
+        }
+        ProtocolSpec::PushPull => {
+            // The push phase of push-pull uses the *mean* fanout (the
+            // behaviour takes a constant); pulls close the tail.
+            let push_fanout = dist.mean().round().max(0.0) as usize;
+            run_execution_with_plan(
+                cfg,
+                |_| {
+                    PushPullGossip::new(
+                        push_fanout,
+                        PULL_BUDGET,
+                        SimDuration::from_millis(PULL_PERIOD_MS),
+                    )
+                },
+                seed,
+                plan,
+                |sim, source| {
+                    sim.inject(
+                        source,
+                        source,
+                        PullMessage::Data(GossipMessage::new(MessageId(seed), &b"payload"[..])),
+                    );
+                },
+            )
+        }
+    }
+}
+
+/// The analytic reliability prediction used only to split executions
+/// into take-off vs fizzle (threshold = half the prediction, the
+/// convention of the figure harness). Falls back to 0.5 when the model
+/// cannot price the scenario (e.g. crash schedules).
+fn takeoff_threshold(scenario: &Scenario, dist: &Arc<dyn FanoutDistribution>) -> f64 {
+    let q = scenario.q().unwrap_or(1.0);
+    let prediction = match scenario.protocol {
+        ProtocolSpec::Push => LossyGossip::new(&**dist, q, scenario.loss)
+            .and_then(|m| m.reliability())
+            .unwrap_or(1.0),
+        // Flood / push-pull complete whenever anything spreads.
+        ProtocolSpec::Flood | ProtocolSpec::PushPull => 1.0,
+    };
+    if prediction < 0.05 {
+        // Subcritical: a single mode only; count everything as take-off.
+        0.0
+    } else {
+        0.5 * prediction
+    }
+}
+
+/// Shared Monte-Carlo evaluation: `replications` independent executions
+/// with seeds derived from `(scenario.seed, rep)`, reduced to a
+/// [`Report`].
+fn evaluate_monte_carlo(
+    backend_name: &'static str,
+    scenario: &Scenario,
+    cfg: &ExecutionConfig,
+    timed: bool,
+) -> Result<Report, ModelError> {
+    let dist: Arc<dyn FanoutDistribution> = Arc::from(scenario.fanout.build()?);
+    let plan = failure_plan(scenario, cfg.source);
+    let outcomes: Vec<ExecutionOutcome> = parallel_map(scenario.replications, |rep| {
+        let seed = SplitMix64::derive(scenario.seed, rep as u64);
+        run_variant(cfg, scenario.protocol, &dist, &plan, seed)
+    });
+
+    let threshold = takeoff_threshold(scenario, &dist);
+    let mut conditional = OnlineStats::new();
+    let mut raw = OnlineStats::new();
+    let mut rounds = OnlineStats::new();
+    let mut quiescence = OnlineStats::new();
+    let mut messages = OnlineStats::new();
+    let mut takeoffs = 0usize;
+    for outcome in &outcomes {
+        messages.push(outcome.messages_per_member());
+        let r = outcome.reliability();
+        raw.push(r);
+        if r > threshold {
+            takeoffs += 1;
+            conditional.push(r);
+            rounds.push(outcome.max_hop as f64);
+            quiescence.push(outcome.quiescence.as_secs_f64());
+        }
+    }
+    let reliability = if conditional.count() == 0 {
+        0.0
+    } else {
+        conditional.mean()
+    };
+    let ci = conditional.ci95();
+    let critical_q = SitePercolation::new(&*dist, 1.0)?.critical_q();
+    Ok(Report {
+        backend: backend_name.to_string(),
+        scenario: scenario.label(),
+        replications: outcomes.len(),
+        reliability,
+        reliability_std_error: conditional.sem(),
+        reliability_ci95: (ci.lo, ci.hi),
+        reliability_raw: Some(raw.mean()),
+        critical_q,
+        takeoff_rate: Some(takeoffs as f64 / outcomes.len() as f64),
+        rounds: if takeoffs == 0 {
+            None
+        } else {
+            Some(rounds.mean())
+        },
+        messages_per_member: Some(messages.mean()),
+        quiescence_secs: if timed && takeoffs > 0 {
+            Some(quiescence.mean())
+        } else {
+            None
+        },
+        success_within_t: success::success_probability(reliability, scenario.executions),
+    })
+}
+
+/// The paper's §5 Monte-Carlo experiment: the executable protocol on an
+/// idealized (lossless, constant-latency) network.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolBackend;
+
+impl Backend for ProtocolBackend {
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Report, ModelError> {
+        scenario.validate()?;
+        if scenario.loss > 0.0 {
+            return Err(ModelError::Unsupported {
+                backend: "protocol",
+                what: "message loss (the §5 experiment is lossless; use the netsim backend)",
+            });
+        }
+        if scenario.latency != LatencySpec::default() {
+            return Err(ModelError::Unsupported {
+                backend: "protocol",
+                what: "latency models (the §5 experiment is untimed; use the netsim backend)",
+            });
+        }
+        let q = match scenario.q() {
+            Some(q) => q,
+            None => {
+                return Err(ModelError::Unsupported {
+                    backend: "protocol",
+                    what: "crash schedules (use the netsim backend)",
+                })
+            }
+        };
+        let cfg = ExecutionConfig::new(scenario.n, q)
+            .with_membership(membership_kind(scenario.membership));
+        evaluate_monte_carlo(self.name(), scenario, &cfg, false)
+    }
+}
+
+/// The full discrete-event network simulation: latency, loss, and crash
+/// injection, with timing metrics in the report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetSimBackend;
+
+impl Backend for NetSimBackend {
+    fn name(&self) -> &'static str {
+        "netsim"
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Report, ModelError> {
+        scenario.validate()?;
+        // q feeds ExecutionConfig validation only; scheduled-crash
+        // scenarios run with the explicit plan and q = 1 here.
+        let q = scenario.q().unwrap_or(1.0);
+        let network = NetworkConfig {
+            latency: latency_model(scenario.latency),
+            loss_probability: scenario.loss,
+        };
+        let cfg = ExecutionConfig::new(scenario.n, q)
+            .with_membership(membership_kind(scenario.membership))
+            .with_network(network);
+        evaluate_monte_carlo(self.name(), scenario, &cfg, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::scenario::{AnalyticBackend, FanoutSpec};
+
+    fn headline(reps: usize) -> Scenario {
+        Scenario::new(1000, FanoutSpec::poisson(4.0))
+            .with_failure_ratio(0.9)
+            .with_replications(reps)
+    }
+
+    #[test]
+    fn protocol_matches_analytic_headline() {
+        let scenario = headline(20);
+        let analytic = AnalyticBackend.evaluate(&scenario).unwrap();
+        let simulated = ProtocolBackend.evaluate(&scenario).unwrap();
+        assert_eq!(simulated.replications, 20);
+        assert!(
+            (simulated.reliability - analytic.reliability).abs() < 0.02,
+            "sim {} vs analytic {}",
+            simulated.reliability,
+            analytic.reliability
+        );
+        assert!(simulated.takeoff_rate.unwrap() > 0.5);
+        assert!(simulated.rounds.unwrap() > 1.0);
+        assert!(simulated.messages_per_member.unwrap() > 1.0);
+    }
+
+    #[test]
+    fn protocol_rejects_netsim_features() {
+        assert!(matches!(
+            ProtocolBackend.evaluate(&headline(5).with_loss(0.2)),
+            Err(ModelError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            ProtocolBackend.evaluate(
+                &headline(5).with_latency(LatencySpec::ExponentialMillis { mean_ms: 10 })
+            ),
+            Err(ModelError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            ProtocolBackend.evaluate(&headline(5).with_failure(FailureSpec::Schedule {
+                crashes: vec![(1, 1)]
+            })),
+            Err(ModelError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn netsim_honours_loss() {
+        // Po(6), q = 0.9, loss 0.25 ≈ Po(4.5) lossless (bond percolation).
+        let scenario = Scenario::new(2000, FanoutSpec::poisson(6.0))
+            .with_failure_ratio(0.9)
+            .with_loss(0.25)
+            .with_replications(15);
+        let analytic = AnalyticBackend.evaluate(&scenario).unwrap();
+        let simulated = NetSimBackend.evaluate(&scenario).unwrap();
+        assert!(
+            (simulated.reliability - analytic.reliability).abs() < 0.03,
+            "lossy sim {} vs analytic {}",
+            simulated.reliability,
+            analytic.reliability
+        );
+        assert!(simulated.quiescence_secs.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn netsim_runs_crash_schedules() {
+        // Crash half the group *after* dissemination finished (1 s in):
+        // reliability among survivors stays high.
+        let crashes: Vec<(u64, u32)> = (0..500).map(|v| (1_000_000_000, v + 1)).collect();
+        let scenario = Scenario::new(1000, FanoutSpec::poisson(6.0))
+            .with_failure(FailureSpec::Schedule { crashes })
+            .with_replications(5);
+        let report = NetSimBackend.evaluate(&scenario).unwrap();
+        assert!(report.reliability > 0.9, "r = {}", report.reliability);
+    }
+
+    #[test]
+    fn flood_and_pushpull_variants_complete() {
+        let flood = ProtocolBackend
+            .evaluate(&headline(5).with_protocol(ProtocolSpec::Flood))
+            .unwrap();
+        assert!(flood.reliability > 0.999, "flood r = {}", flood.reliability);
+        let pushpull = ProtocolBackend
+            .evaluate(&headline(5).with_protocol(ProtocolSpec::PushPull))
+            .unwrap();
+        assert!(
+            pushpull.reliability > 0.95,
+            "push-pull r = {}",
+            pushpull.reliability
+        );
+    }
+
+    #[test]
+    fn deterministic_in_scenario_seed() {
+        let a = ProtocolBackend.evaluate(&headline(8)).unwrap();
+        let b = ProtocolBackend.evaluate(&headline(8)).unwrap();
+        assert_eq!(a.reliability, b.reliability);
+        let c = ProtocolBackend
+            .evaluate(&headline(8).with_seed(999))
+            .unwrap();
+        assert_ne!(a.reliability, c.reliability, "seed must matter (a.s.)");
+    }
+
+    #[test]
+    fn scamp_membership_supported() {
+        let scenario = headline(10).with_membership(MembershipSpec::Scamp { c: 2 });
+        let report = ProtocolBackend.evaluate(&scenario).unwrap();
+        assert!(report.reliability > 0.5, "scamp r = {}", report.reliability);
+    }
+}

@@ -157,8 +157,27 @@ where
 /// via their own engines; exposed for extensibility).
 pub fn run_execution_with<P, M, F, I>(
     cfg: &ExecutionConfig,
+    make: F,
+    seed: u64,
+    inject: I,
+) -> ExecutionOutcome
+where
+    P: GossipProtocol + NodeBehavior<M>,
+    F: FnMut(NodeId) -> P,
+    I: FnOnce(&mut Simulator<M, P>, NodeId),
+{
+    let plan = FailurePlan::paper_model(cfg.q, cfg.source);
+    run_execution_with_plan(cfg, make, seed, &plan, inject)
+}
+
+/// As [`run_execution_with`], but with an explicit [`FailurePlan`]
+/// instead of the paper's i.i.d. crash-at-start model — the entry point
+/// for scenarios with scheduled mid-run crashes (`cfg.q` is ignored).
+pub fn run_execution_with_plan<P, M, F, I>(
+    cfg: &ExecutionConfig,
     mut make: F,
     seed: u64,
+    plan: &FailurePlan,
     inject: I,
 ) -> ExecutionOutcome
 where
@@ -175,7 +194,7 @@ where
         cfg.build_membership(membership_seed),
         sim_seed,
     );
-    sim.apply_failure_plan(&FailurePlan::paper_model(cfg.q, cfg.source));
+    sim.apply_failure_plan(plan);
     sim.start_all();
     inject(&mut sim, cfg.source);
     sim.run_to_quiescence();
@@ -292,8 +311,7 @@ mod tests {
 
     #[test]
     fn scamp_membership_runs() {
-        let cfg =
-            ExecutionConfig::new(400, 0.9).with_membership(MembershipKind::Scamp { c: 2 });
+        let cfg = ExecutionConfig::new(400, 0.9).with_membership(MembershipKind::Scamp { c: 2 });
         let out = run_push(&cfg, &PoissonFanout::new(5.0), 4);
         assert!(
             out.reliability() > 0.5,

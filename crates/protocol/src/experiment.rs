@@ -191,11 +191,11 @@ where
     for o in &taken {
         let denom = o.nonfailed as f64;
         let mut acc = 0.0;
-        for h in 0..len {
+        for (h, slot) in cumulative.iter_mut().enumerate() {
             // Executions with shorter profiles stay saturated at their
             // final value for larger h.
             acc += o.hop_histogram.get(h).copied().unwrap_or(0) as f64;
-            cumulative[h] += acc / denom;
+            *slot += acc / denom;
         }
     }
     for v in &mut cumulative {
@@ -311,7 +311,11 @@ mod tests {
         let cond = reliability_conditional(&cfg, &dist, 40, 13, 0.5 * analytic);
         assert!(cond.count() <= all.count());
         assert!(cond.mean() >= all.mean() - 1e-12);
-        assert!((cond.mean() - analytic).abs() < 0.02, "cond {}", cond.mean());
+        assert!(
+            (cond.mean() - analytic).abs() < 0.02,
+            "cond {}",
+            cond.mean()
+        );
     }
 
     #[test]

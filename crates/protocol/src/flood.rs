@@ -38,7 +38,12 @@ impl Default for Flooding {
 }
 
 impl NodeBehavior<GossipMessage> for Flooding {
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_, GossipMessage>, _from: NodeId, msg: GossipMessage) {
+    fn on_message(
+        &mut self,
+        ctx: &mut NodeCtx<'_, GossipMessage>,
+        _from: NodeId,
+        msg: GossipMessage,
+    ) {
         if self.received {
             self.duplicates += 1;
             return;

@@ -37,6 +37,7 @@
 //! # let _ = MembershipKind::Full;
 //! ```
 
+pub mod backend;
 pub mod engine;
 pub mod experiment;
 pub mod flood;
@@ -46,6 +47,7 @@ pub mod push;
 pub mod pushpull;
 pub mod rounds;
 
+pub use backend::{NetSimBackend, ProtocolBackend};
 pub use engine::{ExecutionConfig, ExecutionOutcome, MembershipKind};
 pub use flood::Flooding;
 pub use message::{GossipMessage, MessageId};

@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn aggregates_reliability_and_success() {
-        let outcomes = vec![outcome(100, 100, 400), outcome(50, 100, 400), outcome(100, 100, 0)];
+        let outcomes = vec![
+            outcome(100, 100, 400),
+            outcome(50, 100, 400),
+            outcome(100, 100, 0),
+        ];
         let s = Summary::from_outcomes(&outcomes);
         assert_eq!(s.executions, 3);
         assert_eq!(s.successes, 2);

@@ -52,7 +52,12 @@ impl PushGossip {
 }
 
 impl NodeBehavior<GossipMessage> for PushGossip {
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_, GossipMessage>, _from: NodeId, msg: GossipMessage) {
+    fn on_message(
+        &mut self,
+        ctx: &mut NodeCtx<'_, GossipMessage>,
+        _from: NodeId,
+        msg: GossipMessage,
+    ) {
         if self.received {
             self.duplicates += 1;
             return; // "discards it immediately"

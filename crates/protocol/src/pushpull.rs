@@ -72,9 +72,8 @@ impl NodeBehavior<PullMessage> for PushPullGossip {
         if self.pulls_left > 0 {
             // Stagger first pulls uniformly over one period to avoid a
             // synchronized thundering herd.
-            let jitter = SimDuration::from_nanos(
-                ctx.rng().next_below(self.pull_period.as_nanos().max(1)),
-            );
+            let jitter =
+                SimDuration::from_nanos(ctx.rng().next_below(self.pull_period.as_nanos().max(1)));
             ctx.set_timer(jitter, PULL_TIMER);
         }
     }
@@ -179,7 +178,10 @@ mod tests {
             reached_with > reached_without,
             "pulls ({reached_with}) must beat none ({reached_without})"
         );
-        assert!(reached_with > 90, "pulls should near-complete: {reached_with}");
+        assert!(
+            reached_with > 90,
+            "pulls should near-complete: {reached_with}"
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl RoundBasedGossip {
 }
 
 impl NodeBehavior<GossipMessage> for RoundBasedGossip {
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_, GossipMessage>, _from: NodeId, msg: GossipMessage) {
+    fn on_message(
+        &mut self,
+        ctx: &mut NodeCtx<'_, GossipMessage>,
+        _from: NodeId,
+        msg: GossipMessage,
+    ) {
         if self.received {
             self.duplicates += 1;
             return;
@@ -159,10 +164,7 @@ mod tests {
         sim.inject(0, 0, GossipMessage::new(MessageId(1), &b"m"[..]));
         sim.run_to_quiescence();
         assert_eq!(sim.metrics().messages_sent, 0);
-        assert_eq!(
-            sim.nodes().filter(|(_, b, _)| b.has_received()).count(),
-            1
-        );
+        assert_eq!(sim.nodes().filter(|(_, b, _)| b.has_received()).count(), 1);
     }
 
     #[test]

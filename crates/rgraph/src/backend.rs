@@ -1,0 +1,177 @@
+//! The random-graph evaluation layer of the unified `Scenario` →
+//! `Backend` → `Report` API.
+//!
+//! [`GraphBackend`] is the Monte-Carlo counterpart of the paper's §4
+//! modeling object itself: it generates configuration-model graphs with
+//! the scenario's fanout distribution as degree distribution, applies
+//! site percolation for crashes (occupied ⇔ nonfailed, Eq. 1) and bond
+//! percolation for message loss (an edge transmits with probability
+//! `1 − loss`), and measures the giant component of the percolated
+//! graph — the paper's reliability `R(q, P)` (Eq. 4/11) without any
+//! protocol dynamics.
+
+use gossip_model::percolation::SitePercolation;
+use gossip_model::scenario::{Backend, MembershipSpec, ProtocolSpec, Report, Scenario};
+use gossip_model::{success, ModelError};
+use gossip_stats::descriptive::OnlineStats;
+use gossip_stats::parallel::parallel_map;
+use gossip_stats::rng::{SplitMix64, Xoshiro256StarStar};
+
+use crate::configuration::ConfigurationModel;
+use crate::graph::Graph;
+use crate::percolation_sim::percolate;
+
+/// Keeps each edge independently with probability `1 − loss` — bond
+/// percolation, the graph-level model of message loss.
+fn thin_edges(g: &Graph, loss: f64, rng: &mut Xoshiro256StarStar) -> Graph {
+    let kept: Vec<(u32, u32)> = g.edges().filter(|_| !rng.next_bool(loss)).collect();
+    Graph::from_edges(g.node_count(), &kept)
+}
+
+/// The random-graph percolation layer: giant components of percolated
+/// configuration-model graphs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphBackend;
+
+impl Backend for GraphBackend {
+    fn name(&self) -> &'static str {
+        "graph"
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Report, ModelError> {
+        scenario.validate()?;
+        let q = scenario.q().ok_or(ModelError::Unsupported {
+            backend: "graph",
+            what: "crash schedules (percolation is a static snapshot)",
+        })?;
+        if scenario.membership != MembershipSpec::Full {
+            return Err(ModelError::Unsupported {
+                backend: "graph",
+                what: "partial-view membership (configuration models draw targets uniformly)",
+            });
+        }
+        if scenario.protocol != ProtocolSpec::Push {
+            return Err(ModelError::Unsupported {
+                backend: "graph",
+                what: "protocol variants (the random-graph layer models the Fig. 1 push algorithm)",
+            });
+        }
+        let dist = scenario.fanout.build()?;
+
+        let reliabilities: Vec<f64> = parallel_map(scenario.replications, |rep| {
+            let seed = SplitMix64::derive(scenario.seed, rep as u64);
+            let mut graph_rng = Xoshiro256StarStar::new(SplitMix64::derive(seed, 0x6A));
+            let graph = ConfigurationModel::new(&dist, scenario.n).generate(&mut graph_rng);
+            let mut perc_rng = Xoshiro256StarStar::new(SplitMix64::derive(seed, 0x9C));
+            let graph = if scenario.loss > 0.0 {
+                thin_edges(&graph, scenario.loss, &mut perc_rng)
+            } else {
+                graph
+            };
+            percolate(&graph, q, &[], &mut perc_rng).reliability()
+        });
+
+        let mut stats = OnlineStats::new();
+        stats.extend(reliabilities.iter().copied());
+        let reliability = stats.mean();
+        let ci = stats.ci95();
+        let critical_q = SitePercolation::new(&dist, 1.0)?.critical_q();
+        Ok(Report {
+            backend: self.name().to_string(),
+            scenario: scenario.label(),
+            replications: scenario.replications,
+            reliability,
+            reliability_std_error: stats.sem(),
+            reliability_ci95: (ci.lo, ci.hi),
+            // The static census has no fizzle mode: raw = conditional.
+            reliability_raw: Some(reliability),
+            critical_q,
+            // The undirected census has no source dynamics, hence no
+            // take-off/fizzle split and no rounds or message cost.
+            takeoff_rate: None,
+            rounds: None,
+            messages_per_member: None,
+            quiescence_secs: None,
+            success_within_t: success::success_probability(reliability, scenario.executions),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::scenario::{AnalyticBackend, FanoutSpec};
+
+    fn headline(n: usize, reps: usize) -> Scenario {
+        Scenario::new(n, FanoutSpec::poisson(4.0))
+            .with_failure_ratio(0.9)
+            .with_replications(reps)
+    }
+
+    #[test]
+    fn graph_matches_analytic_headline() {
+        let scenario = headline(5000, 10);
+        let analytic = AnalyticBackend.evaluate(&scenario).unwrap();
+        let graph = GraphBackend.evaluate(&scenario).unwrap();
+        assert!(
+            (graph.reliability - analytic.reliability).abs() < 0.02,
+            "graph {} vs analytic {}",
+            graph.reliability,
+            analytic.reliability
+        );
+        assert!(graph.reliability_std_error < 0.02);
+        assert_eq!(graph.replications, 10);
+    }
+
+    #[test]
+    fn graph_loss_is_bond_percolation() {
+        // Po(6), q = 0.9, loss 0.25 ≈ Po(4.5) lossless.
+        let lossy = GraphBackend
+            .evaluate(
+                &Scenario::new(5000, FanoutSpec::poisson(6.0))
+                    .with_failure_ratio(0.9)
+                    .with_loss(0.25)
+                    .with_replications(8),
+            )
+            .unwrap();
+        let analytic = AnalyticBackend
+            .evaluate(&Scenario::new(5000, FanoutSpec::poisson(4.5)).with_failure_ratio(0.9))
+            .unwrap();
+        assert!(
+            (lossy.reliability - analytic.reliability).abs() < 0.03,
+            "lossy graph {} vs thinned analytic {}",
+            lossy.reliability,
+            analytic.reliability
+        );
+    }
+
+    #[test]
+    fn graph_subcritical_has_no_giant() {
+        let scenario = Scenario::new(5000, FanoutSpec::poisson(4.0))
+            .with_failure_ratio(0.15) // below q_c = 0.25
+            .with_replications(5);
+        let report = GraphBackend.evaluate(&scenario).unwrap();
+        assert!(report.reliability < 0.05, "r = {}", report.reliability);
+    }
+
+    #[test]
+    fn graph_rejects_unsupported() {
+        let scamp = headline(500, 3).with_membership(MembershipSpec::Scamp { c: 1 });
+        assert!(matches!(
+            GraphBackend.evaluate(&scamp),
+            Err(ModelError::Unsupported { .. })
+        ));
+        let flood = headline(500, 3).with_protocol(ProtocolSpec::Flood);
+        assert!(matches!(
+            GraphBackend.evaluate(&flood),
+            Err(ModelError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = GraphBackend.evaluate(&headline(2000, 5)).unwrap();
+        let b = GraphBackend.evaluate(&headline(2000, 5)).unwrap();
+        assert_eq!(a.reliability, b.reliability);
+    }
+}

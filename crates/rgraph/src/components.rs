@@ -120,10 +120,7 @@ mod tests {
 
     #[test]
     fn census_of_two_triangles_and_isolate() {
-        let g = Graph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
         let c = census(&g);
         assert_eq!(c.nodes, 7);
         assert_eq!(c.count, 3);

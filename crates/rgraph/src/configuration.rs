@@ -71,7 +71,10 @@ impl<'a, D: FanoutDistribution + ?Sized> ConfigurationModel<'a, D> {
     pub fn generate_with_degrees(&self, degrees: &[usize], rng: &mut Xoshiro256StarStar) -> Graph {
         assert_eq!(degrees.len(), self.n, "degree sequence length must be n");
         let total: usize = degrees.iter().sum();
-        assert!(total % 2 == 0, "degree sum must be even, got {total}");
+        assert!(
+            total.is_multiple_of(2),
+            "degree sum must be even, got {total}"
+        );
 
         // Build the stub list: node i appears degrees[i] times.
         let mut stubs = Vec::with_capacity(total);

@@ -16,7 +16,10 @@ impl Digraph {
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
         let mut degree = vec![0usize; n];
         for &(a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a},{b}) out of range"
+            );
             degree[a as usize] += 1;
         }
         Self::from_degrees_and_fill(n, &degree, |push| {

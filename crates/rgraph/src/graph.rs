@@ -21,7 +21,10 @@ impl Graph {
         // Two-pass CSR build: count degrees, prefix-sum, scatter.
         let mut degree = vec![0usize; n];
         for &(a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a},{b}) out of range"
+            );
             degree[a as usize] += 1;
             degree[b as usize] += 1;
         }
@@ -111,10 +114,7 @@ mod tests {
         let g = triangle_plus_isolate();
         for a in 0..4u32 {
             for &b in g.neighbors(a) {
-                assert!(
-                    g.neighbors(b).contains(&a),
-                    "edge {a}->{b} missing reverse"
-                );
+                assert!(g.neighbors(b).contains(&a), "edge {a}->{b} missing reverse");
             }
         }
     }

@@ -27,6 +27,7 @@
 //! * [`phase`] — critical-point estimation by susceptibility peak, used
 //!   to validate `q_c = 1/G1'(1)` (paper Eq. 3/10).
 
+pub mod backend;
 pub mod components;
 pub mod configuration;
 pub mod digraph;
@@ -37,6 +38,7 @@ pub mod phase;
 pub mod reach;
 pub mod unionfind;
 
+pub use backend::GraphBackend;
 pub use components::ComponentCensus;
 pub use configuration::ConfigurationModel;
 pub use digraph::Digraph;

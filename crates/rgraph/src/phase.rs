@@ -57,8 +57,8 @@ pub fn scan_configuration_model<D: FanoutDistribution + ?Sized>(
             // Independent graph and percolation pattern per replication.
             let graph_seed = SplitMix64::derive(base_seed, (qi * reps + rep) as u64 * 2);
             let perc_seed = SplitMix64::derive(base_seed, (qi * reps + rep) as u64 * 2 + 1);
-            let g = ConfigurationModel::new(dist, n)
-                .generate(&mut Xoshiro256StarStar::new(graph_seed));
+            let g =
+                ConfigurationModel::new(dist, n).generate(&mut Xoshiro256StarStar::new(graph_seed));
             let stats = percolate_many(&g, q, &[], 1, perc_seed);
             rel += stats.reliability.mean();
             second += stats.second_fraction.mean();

@@ -23,7 +23,10 @@ impl AliasTable {
     /// Builds an alias table from (possibly unnormalized) non-negative
     /// weights. Panics on empty input, negative weights, or all-zero mass.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         assert!(
             weights.len() <= u32::MAX as usize,
             "alias table limited to 2^32 outcomes"
@@ -31,7 +34,10 @@ impl AliasTable {
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0, got {w}");
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "weights must be finite and >= 0, got {w}"
+                );
                 w
             })
             .sum();

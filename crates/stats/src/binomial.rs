@@ -187,7 +187,13 @@ mod tests {
 
     #[test]
     fn pmf_sums_to_one() {
-        for &(n, p) in &[(20u64, 0.967f64), (20, 0.5), (100, 0.01), (7, 1.0), (7, 0.0)] {
+        for &(n, p) in &[
+            (20u64, 0.967f64),
+            (20, 0.5),
+            (100, 0.01),
+            (7, 1.0),
+            (7, 0.0),
+        ] {
             let total: f64 = Binomial::new(n, p).pmf_vector().iter().sum();
             assert!(close(total, 1.0, 1e-10), "sum {total} for n={n}, p={p}");
         }
@@ -267,8 +273,16 @@ mod tests {
         }
         let mean = sum / n as f64;
         let var = sumsq / n as f64 - mean * mean;
-        assert!((mean - b.mean()).abs() < 0.02, "mean {mean} vs {}", b.mean());
-        assert!((var - b.variance()).abs() < 0.05, "var {var} vs {}", b.variance());
+        assert!(
+            (mean - b.mean()).abs() < 0.02,
+            "mean {mean} vs {}",
+            b.mean()
+        );
+        assert!(
+            (var - b.variance()).abs() < 0.05,
+            "var {var} vs {}",
+            b.variance()
+        );
     }
 
     #[test]

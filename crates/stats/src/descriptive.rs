@@ -227,7 +227,11 @@ mod tests {
         let ci = s.ci95();
         assert!(ci.contains(s.mean()));
         assert!(ci.width() > 0.0);
-        assert!(ci.width() < 1.0, "width {} too wide for 100 samples", ci.width());
+        assert!(
+            ci.width() < 1.0,
+            "width {} too wide for 100 samples",
+            ci.width()
+        );
     }
 
     #[test]
@@ -237,6 +241,10 @@ mod tests {
         let xs = [offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0];
         let s = OnlineStats::from_slice(&xs);
         assert!((s.mean() - (offset + 10.0)).abs() < 1e-3);
-        assert!((s.variance() - 30.0).abs() < 1e-6, "variance {}", s.variance());
+        assert!(
+            (s.variance() - 30.0).abs() < 1e-6,
+            "variance {}",
+            s.variance()
+        );
     }
 }

@@ -47,7 +47,11 @@ pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
 /// of thumb is 5) are pooled with their right neighbour before computing
 /// the statistic, which keeps the chi-square approximation honest for
 /// sparse tails like the left side of `B(20, 0.967)`.
-pub fn chi_square_pvalue(observed: &[u64], model_pmf: &[f64], min_expected: f64) -> ChiSquareOutcome {
+pub fn chi_square_pvalue(
+    observed: &[u64],
+    model_pmf: &[f64],
+    min_expected: f64,
+) -> ChiSquareOutcome {
     assert_eq!(observed.len(), model_pmf.len(), "length mismatch");
     assert!(!observed.is_empty(), "need at least one cell");
     let total: u64 = observed.iter().sum();

@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn mean_of_point_mass() {
-        let h = IntHistogram::from_samples(20, std::iter::repeat(20).take(10));
+        let h = IntHistogram::from_samples(20, std::iter::repeat_n(20, 10));
         assert_eq!(h.mean(), 20.0);
         assert_eq!(h.mode(), 20);
     }

@@ -43,7 +43,9 @@ pub mod special;
 pub use alias::AliasTable;
 pub use binomial::Binomial;
 pub use descriptive::{ConfidenceInterval, OnlineStats};
-pub use gof::{chi_square_pvalue, chi_square_statistic, total_variation_distance, ChiSquareOutcome};
+pub use gof::{
+    chi_square_pvalue, chi_square_statistic, total_variation_distance, ChiSquareOutcome,
+};
 pub use histogram::IntHistogram;
 pub use parallel::{parallel_map, parallel_map_reduce};
 pub use poisson::Poisson;

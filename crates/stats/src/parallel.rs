@@ -11,8 +11,19 @@
 //! dependencies) and split work into contiguous chunks to keep per-thread
 //! state local.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Whether this thread is already a `parallel_map` worker. Nested
+    /// calls (a parallel sweep whose cells each run a parallel
+    /// Monte-Carlo) run serially instead of oversubscribing the machine
+    /// with workers² threads — the outer level already saturates the
+    /// cores, and per-index seed derivation keeps results identical
+    /// either way.
+    static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Number of worker threads to use: `available_parallelism`, capped by the
 /// job count so tiny jobs don't spawn idle threads.
@@ -29,6 +40,10 @@ fn worker_count(jobs: usize) -> usize {
 /// `f` must be `Sync` (it is shared by reference across workers) and the
 /// output `Send`. Work is handed out via an atomic cursor in small batches,
 /// which balances uneven per-index costs (e.g. mixed n=1000/n=5000 runs).
+///
+/// Calls nested inside another `parallel_map` (on a worker thread) run
+/// serially; the result is the same either way because every index
+/// derives its own seed.
 pub fn parallel_map<T, F>(jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -38,7 +53,7 @@ where
         return Vec::new();
     }
     let workers = worker_count(jobs);
-    if workers == 1 {
+    if workers == 1 || IN_PARALLEL_WORKER.with(Cell::get) {
         return (0..jobs).map(f).collect();
     }
 
@@ -52,12 +67,14 @@ where
         for _ in 0..workers {
             let f = &f;
             let cursor = &cursor;
+            #[allow(clippy::redundant_locals)]
             let results_ptr = results_ptr;
             scope.spawn(move |_| {
                 // Force whole-struct capture: edition-2021 disjoint capture
                 // would otherwise move only the (non-Send) pointer field.
                 #[allow(clippy::redundant_locals)]
                 let results_ptr = &results_ptr;
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
                 loop {
                     let start = cursor.fetch_add(batch, Ordering::Relaxed);
                     if start >= jobs {
@@ -155,10 +172,15 @@ mod tests {
     #[test]
     fn reduce_in_index_order() {
         // Build a string so out-of-order reduction would be visible.
-        let s = parallel_map_reduce(10, |i| i.to_string(), String::new(), |mut acc, x| {
-            acc.push_str(&x);
-            acc
-        });
+        let s = parallel_map_reduce(
+            10,
+            |i| i.to_string(),
+            String::new(),
+            |mut acc, x| {
+                acc.push_str(&x);
+                acc
+            },
+        );
         assert_eq!(s, "0123456789");
     }
 
@@ -166,6 +188,29 @@ mod tests {
     fn reduce_numeric_sum() {
         let total = parallel_map_reduce(1000, |i| i as u64, 0u64, |a, b| a + b);
         assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn nested_calls_run_serially_with_identical_results() {
+        // A parallel map whose jobs call parallel_map again: the inner
+        // calls must stay on the outer worker's thread (no worker pool
+        // squared), and results must match the serial computation.
+        let nested = parallel_map(8, |i| {
+            let outer_thread = std::thread::current().id();
+            let inner = parallel_map(8, move |j| {
+                assert_eq!(
+                    std::thread::current().id(),
+                    outer_thread,
+                    "nested parallel_map must not spawn workers"
+                );
+                (i * 8 + j) as u64
+            });
+            inner.iter().sum::<u64>()
+        });
+        let serial: Vec<u64> = (0..8)
+            .map(|i| (0..8).map(|j| (i * 8 + j) as u64).sum())
+            .collect();
+        assert_eq!(nested, serial);
     }
 
     #[test]

@@ -216,15 +216,15 @@ mod tests {
         let p = Poisson::new(2.0);
         let mut rng = Xoshiro256StarStar::new(5);
         let n = 50_000usize;
-        let mut counts = vec![0u64; 12];
+        let mut counts = [0u64; 12];
         for _ in 0..n {
             let x = p.sample(&mut rng) as usize;
             let idx = x.min(counts.len() - 1);
             counts[idx] += 1;
         }
-        for k in 0..8 {
+        for (k, &count) in counts.iter().enumerate().take(8) {
             let expected = p.pmf(k as u64) * n as f64;
-            let got = counts[k] as f64;
+            let got = count as f64;
             assert!(
                 (got - expected).abs() < 5.0 * expected.sqrt() + 5.0,
                 "k={k}: got {got}, expected {expected}"

@@ -1,36 +1,51 @@
 //! The phase transition, live: sweep the failure ratio past the critical
-//! point and watch gossip collapse exactly where Eq. 10 says it will.
+//! point and watch gossip collapse exactly where Eq. 10 says it will —
+//! one [`SweepGrid`] evaluated by the analytic and protocol backends.
 //!
 //! ```sh
-//! cargo run --release -p gossip-examples --bin failure_sweep
+//! cargo run --release --example failure_sweep
 //! ```
 
-use gossip_model::distribution::PoissonFanout;
-use gossip_model::poisson_case;
-use gossip_protocol::engine::ExecutionConfig;
-use gossip_protocol::experiment;
+use gossip::{AnalyticBackend, Backend, FanoutSpec, ProtocolBackend, Scenario, SweepGrid};
 
 fn main() {
     let n = 4_000;
     let z = 4.0;
-    let dist = PoissonFanout::new(z);
-    let qc = poisson_case::critical_q(z).expect("z > 0");
+    let base = Scenario::new(n, FanoutSpec::poisson(z)).with_replications(8);
+    let qc = AnalyticBackend
+        .evaluate(&base)
+        .expect("valid scenario")
+        .critical_q
+        .expect("z > 0");
     println!("Po({z}) fanout: analytic critical point q_c = 1/z = {qc:.3}");
-    println!("(gossip tolerates up to {:.0}% failed members)\n", (1.0 - qc) * 100.0);
+    println!(
+        "(gossip tolerates up to {:.0}% failed members)\n",
+        (1.0 - qc) * 100.0
+    );
 
-    println!("{:>6}  {:>10}  {:>10}  {:>9}", "q", "analytic R", "simulated", "status");
-    for i in 1..=19 {
-        let q = i as f64 * 0.05;
-        let analytic = poisson_case::reliability(z, q).expect("valid q");
-        let cfg = ExecutionConfig::new(n, q);
-        // Condition on take-off: the giant-component size is what the
-        // analysis predicts (executions that die at the source measure
-        // the *take-off probability*, not the component size).
-        let stats =
-            experiment::reliability_conditional(&cfg, &dist, 8, 1000 + i as u64, 0.5 * analytic);
+    let qs: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+    let grid = SweepGrid::new(base).over_failure_ratios(&qs);
+    let analytic = grid.run(&AnalyticBackend);
+    let simulated = grid.run(&ProtocolBackend);
+
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>9}",
+        "q", "analytic R", "simulated", "status"
+    );
+    for (ana, sim) in analytic.iter().zip(&simulated) {
+        let q = ana.scenario.q().expect("ratio rows");
+        let analytic_r = ana
+            .report
+            .as_ref()
+            .expect("analytic prices all q")
+            .reliability;
+        let sim_r = sim
+            .report
+            .as_ref()
+            .expect("protocol runs all q")
+            .reliability;
         let status = if q <= qc { "DEAD (below q_c)" } else { "alive" };
-        let sim = if stats.count() == 0 { 0.0 } else { stats.mean() };
-        println!("{q:>6.2}  {analytic:>10.4}  {sim:>10.4}  {status}");
+        println!("{q:>6.2}  {analytic_r:>10.4}  {sim_r:>10.4}  {status}");
     }
 
     println!(

@@ -1,15 +1,14 @@
 //! Capacity planning with the inverse model: given a reliability target
 //! and an expected failure level, size the fanout and the number of
-//! executions — the design loop the paper's Eqs. 10-12 enable.
+//! executions — then verify the whole plan as a [`Scenario`] through
+//! the analytic and protocol backends.
 //!
 //! ```sh
-//! cargo run --release -p gossip-examples --bin fanout_planning
+//! cargo run --release --example fanout_planning
 //! ```
 
-use gossip_model::distribution::{GeometricFanout, PoissonFanout};
-use gossip_model::{design, poisson_case, success};
-use gossip_protocol::engine::ExecutionConfig;
-use gossip_protocol::experiment;
+use gossip::{AnalyticBackend, Backend, FanoutSpec, ProtocolBackend, Scenario};
+use gossip_model::{design, poisson_case, success, GeometricFanout};
 
 fn main() {
     // Requirements from the (hypothetical) application:
@@ -28,7 +27,10 @@ fn main() {
     // Step 2 — how many failures does that fanout actually tolerate at
     // the target reliability? (the paper's headline derivation)
     let eps = poisson_case::max_tolerable_failure(z, target_reliability).expect("achievable");
-    println!("max tolerable failure ratio at z = {z:.3}: {:.1}%", eps * 100.0);
+    println!(
+        "max tolerable failure ratio at z = {z:.3}: {:.1}%",
+        eps * 100.0
+    );
 
     // Step 3 — executions for the group-wide guarantee (Eq. 6).
     let t = success::required_executions(target_reliability, target_success).expect("achievable");
@@ -45,15 +47,28 @@ fn main() {
         200.0,
     )
     .expect("achievable in bracket");
-    println!("geometric fanout needs mean {geo_mean:.2} (vs Poisson {z:.2}) — heavy tails cost messages");
-
-    // Step 5 — validate the Poisson plan by simulation.
-    let cfg = ExecutionConfig::new(n, q);
-    let sim = experiment::reliability_conditional(&cfg, &PoissonFanout::new(z), 5, 11, 0.5);
     println!(
-        "\nsimulated check: R = {:.4} at z = {z:.3}, q = {q} (target {target_reliability})",
-        sim.mean()
+        "geometric fanout needs mean {geo_mean:.2} (vs Poisson {z:.2}) — heavy tails cost messages"
     );
-    assert!((sim.mean() - target_reliability).abs() < 0.02);
+
+    // Step 5 — freeze the plan into a scenario and validate it through
+    // both evaluation layers.
+    let plan = Scenario::new(n, FanoutSpec::poisson(z))
+        .with_failure_ratio(q)
+        .with_replications(5)
+        .with_executions(t)
+        .with_seed(11);
+    let model = AnalyticBackend.evaluate(&plan).expect("valid plan");
+    assert!((model.reliability - target_reliability).abs() < 1e-6);
+    println!(
+        "\nEq. 5 at the planned t: Pr(member heard) = {:.5} (target {target_success})",
+        model.success_within_t
+    );
+    let sim = ProtocolBackend.evaluate(&plan).expect("valid plan");
+    println!(
+        "simulated check: R = {:.4} at z = {z:.3}, q = {q} (target {target_reliability})",
+        sim.reliability
+    );
+    assert!((sim.reliability - target_reliability).abs() < 0.02);
     println!("plan verified.");
 }

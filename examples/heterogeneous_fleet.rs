@@ -1,22 +1,21 @@
 //! Heterogeneous deployments as mixture fanouts: most members are
-//! constrained edge devices, a few are well-connected relays. The
-//! mixture machinery answers what the relay tier buys.
+//! constrained edge devices, a few are well-connected relays. Declared
+//! as a [`FanoutSpec::Mixture`] scenario and priced by the analytic
+//! backend — the mixture machinery answers what the relay tier buys.
 //!
 //! ```sh
-//! cargo run --release -p gossip-examples --bin heterogeneous_fleet
+//! cargo run --release --example heterogeneous_fleet
 //! ```
 
-use gossip_model::distribution::{FanoutDistribution, FixedFanout, MixtureFanout, PoissonFanout};
-use gossip_model::SitePercolation;
+use gossip::{AnalyticBackend, Backend, FanoutSpec, Scenario};
 
-fn fleet(relay_share: f64, relay_fanout: f64) -> MixtureFanout {
-    MixtureFanout::new(vec![
-        (
-            1.0 - relay_share,
-            Box::new(FixedFanout::new(2)) as Box<dyn FanoutDistribution>,
-        ),
-        (relay_share, Box::new(PoissonFanout::new(relay_fanout))),
-    ])
+fn fleet(relay_share: f64, relay_fanout: f64) -> FanoutSpec {
+    FanoutSpec::Mixture {
+        components: vec![
+            (1.0 - relay_share, FanoutSpec::fixed(2)),
+            (relay_share, FanoutSpec::poisson(relay_fanout)),
+        ],
+    }
 }
 
 fn main() {
@@ -35,24 +34,24 @@ fn main() {
         (0.10, 16.0),
         (0.20, 16.0),
     ] {
-        let dist: Box<dyn FanoutDistribution> = if share == 0.0 {
-            Box::new(FixedFanout::new(2))
+        let fanout = if share == 0.0 {
+            FanoutSpec::fixed(2)
         } else {
-            Box::new(fleet(share, zr))
+            fleet(share, zr)
         };
-        let perc = SitePercolation::new(&dist, q).expect("valid q");
-        let qc = perc
-            .critical_q()
+        let scenario = Scenario::new(10_000, fanout.clone()).with_failure_ratio(q);
+        let report = AnalyticBackend.evaluate(&scenario).expect("valid scenario");
+        let qc = report
+            .critical_q
             .map(|v| format!("{v:.3}"))
             .unwrap_or_else(|| "n/a".into());
-        let r = perc.reliability().expect("solver converges");
         println!(
             "{:>12.2} {:>12.1} {:>12.2} {:>12} {:>14.4}",
             share,
             zr,
-            dist.mean(),
+            fanout.mean().expect("valid fanout"),
             qc,
-            r
+            report.reliability
         );
     }
 

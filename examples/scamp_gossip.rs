@@ -1,23 +1,26 @@
 //! Gossip over SCAMP partial views: the paper assumes a membership
-//! service exists (§3, citing SCAMP); this example runs the actual
-//! protocol over actually-constructed partial views and compares with
-//! the full-view analysis.
+//! service exists (§3, citing SCAMP); this example runs the same
+//! [`Scenario`] with full and SCAMP membership through the protocol
+//! backend and compares with the full-view analysis.
 //!
 //! ```sh
-//! cargo run --release -p gossip-examples --bin scamp_gossip
+//! cargo run --release --example scamp_gossip
 //! ```
 
-use gossip_model::distribution::PoissonFanout;
-use gossip_model::poisson_case;
+use gossip::{AnalyticBackend, Backend, FanoutSpec, MembershipSpec, ProtocolBackend, Scenario};
 use gossip_netsim::membership::ScampViews;
-use gossip_protocol::engine::{ExecutionConfig, MembershipKind};
-use gossip_protocol::experiment;
 
 fn main() {
     let n = 2_000;
     let (f, q) = (5.0, 0.85);
-    let dist = PoissonFanout::new(f);
-    let analytic = poisson_case::reliability(f, q).expect("supercritical");
+    let base = Scenario::new(n, FanoutSpec::poisson(f))
+        .with_failure_ratio(q)
+        .with_replications(15)
+        .with_seed(3);
+    let analytic = AnalyticBackend
+        .evaluate(&base)
+        .expect("valid scenario")
+        .reliability;
 
     println!("n = {n}, Po({f}) fanout, q = {q}");
     println!("analytic reliability (uniform targets): {analytic:.4}\n");
@@ -26,26 +29,28 @@ fn main() {
         "{:>12} {:>16} {:>12} {:>8}",
         "membership", "mean view size", "reliability", "gap"
     );
-    let full_cfg = ExecutionConfig::new(n, q);
-    let full = experiment::reliability_conditional(&full_cfg, &dist, 15, 3, 0.5);
+    let full = ProtocolBackend.evaluate(&base).expect("valid scenario");
     println!(
         "{:>12} {:>16} {:>12.4} {:>8.4}",
         "full view",
         n - 1,
-        full.mean(),
-        (full.mean() - analytic).abs()
+        full.reliability,
+        (full.reliability - analytic).abs()
     );
 
     for c in [0usize, 1, 2, 4] {
         let views = ScampViews::build(n, c, 99);
-        let cfg = ExecutionConfig::new(n, q).with_membership(MembershipKind::Scamp { c });
-        let stats = experiment::reliability_conditional(&cfg, &dist, 15, 3 + c as u64, 0.5);
+        let scenario = base
+            .clone()
+            .with_membership(MembershipSpec::Scamp { c })
+            .with_seed(3 + c as u64);
+        let report = ProtocolBackend.evaluate(&scenario).expect("valid scenario");
         println!(
             "{:>12} {:>16.1} {:>12.4} {:>8.4}",
             format!("SCAMP c={c}"),
             views.mean_view_size(),
-            stats.mean(),
-            (stats.mean() - analytic).abs()
+            report.reliability,
+            (report.reliability - analytic).abs()
         );
     }
 

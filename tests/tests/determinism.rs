@@ -5,8 +5,8 @@
 use gossip_model::distribution::PoissonFanout;
 use gossip_protocol::engine::{run_push, ExecutionConfig, MembershipKind};
 use gossip_protocol::experiment;
-use gossip_rgraph::{ConfigurationModel, GossipGraphBuilder};
 use gossip_rgraph::reach::reach;
+use gossip_rgraph::{ConfigurationModel, GossipGraphBuilder};
 use gossip_stats::rng::Xoshiro256StarStar;
 
 #[test]

@@ -19,13 +19,8 @@ fn protocol_under_loss_matches_bond_percolation() {
     let (f, q, loss) = (5.0, 0.9, 0.2);
     let analytic = poisson_reliability_with_loss(f, q, loss).unwrap();
     let cfg = lossy_cfg(1500, q, loss);
-    let stats = experiment::reliability_conditional(
-        &cfg,
-        &PoissonFanout::new(f),
-        15,
-        77,
-        0.5 * analytic,
-    );
+    let stats =
+        experiment::reliability_conditional(&cfg, &PoissonFanout::new(f), 15, 77, 0.5 * analytic);
     assert_close(
         stats.mean(),
         analytic,
@@ -53,7 +48,12 @@ fn loss_equivalent_to_thinned_fanout() {
         6,
         0.5 * analytic,
     );
-    assert_close(lossy.mean(), thinned.mean(), 0.025, "loss ≡ fanout thinning");
+    assert_close(
+        lossy.mean(),
+        thinned.mean(),
+        0.025,
+        "loss ≡ fanout thinning",
+    );
 }
 
 #[test]

@@ -28,13 +28,8 @@ fn gossip_over_scamp_approaches_uniform_analysis() {
     let (f, q) = (5.0, 0.9);
     let analytic = poisson_case::reliability(f, q).unwrap();
     let cfg = ExecutionConfig::new(n, q).with_membership(MembershipKind::Scamp { c: 2 });
-    let stats = experiment::reliability_conditional(
-        &cfg,
-        &PoissonFanout::new(f),
-        12,
-        5,
-        0.5 * analytic,
-    );
+    let stats =
+        experiment::reliability_conditional(&cfg, &PoissonFanout::new(f), 12, 5, 0.5 * analytic);
     let gap = (stats.mean() - analytic).abs();
     assert!(
         gap < 0.05,

@@ -1,47 +1,55 @@
-//! Analytic model vs the random-graph substrate: the giant component of
-//! configuration-model graphs must match `1 − G0(u)` (paper §4), and the
-//! directed gossip-graph reach must match it for Poisson fanouts.
+//! Analytic model vs the random-graph substrate, through the unified
+//! scenario API: [`GraphBackend`] (giant components of percolated
+//! configuration-model graphs) must match [`AnalyticBackend`]
+//! (`1 − G0(u)`, paper §4) on the same [`Scenario`] values; the
+//! directed gossip-graph duality checks stay on the rgraph internals
+//! they actually probe.
 
+use gossip::{AnalyticBackend, Backend, FanoutSpec, GraphBackend, Scenario};
 use gossip_integration_tests::assert_close;
-use gossip_model::distribution::{
-    EmpiricalFanout, FixedFanout, GeometricFanout, PoissonFanout,
-};
+use gossip_model::distribution::PoissonFanout;
 use gossip_model::SitePercolation;
-use gossip_rgraph::percolation_sim::percolate_many;
 use gossip_rgraph::reach::reach;
-use gossip_rgraph::{ConfigurationModel, GossipGraphBuilder};
+use gossip_rgraph::GossipGraphBuilder;
 use gossip_stats::rng::Xoshiro256StarStar;
 
-/// Giant component fraction on a percolated configuration-model graph
-/// vs the analytic site-percolation prediction.
-fn graph_vs_model<D: gossip_model::FanoutDistribution>(dist: &D, q: f64, n: usize, tol: f64) {
-    let analytic = SitePercolation::new(dist, q)
-        .expect("valid q")
-        .reliability()
-        .expect("solver converges");
-    let g = ConfigurationModel::new(dist, n).generate(&mut Xoshiro256StarStar::new(11));
-    let stats = percolate_many(&g, q, &[], 8, 0x600D);
+/// Evaluates one scenario by both layers and asserts agreement.
+fn graph_vs_model(fanout: FanoutSpec, q: f64, n: usize, tol: f64) {
+    let scenario = Scenario::new(n, fanout)
+        .with_failure_ratio(q)
+        .with_replications(8)
+        .with_seed(0x600D);
+    let analytic = AnalyticBackend.evaluate(&scenario).expect("valid scenario");
+    let graph = GraphBackend.evaluate(&scenario).expect("valid scenario");
     assert_close(
-        stats.reliability.mean(),
-        analytic,
+        graph.reliability,
+        analytic.reliability,
         tol,
-        &format!("giant component, {} q={q}", dist.label()),
+        &format!("giant component, {}", scenario.label()),
     );
+    // The two layers must also agree on the critical point exactly
+    // (both derive it from G1'(1)).
+    match (graph.critical_q, analytic.critical_q) {
+        (Some(g), Some(a)) => assert_close(g, a, 1e-12, "critical q"),
+        (g, a) => assert_eq!(g, a, "critical q presence"),
+    }
 }
 
 #[test]
 fn poisson_giant_component_matches() {
-    graph_vs_model(&PoissonFanout::new(4.0), 0.9, 20_000, 0.01);
-    graph_vs_model(&PoissonFanout::new(4.0), 0.5, 20_000, 0.02);
-    graph_vs_model(&PoissonFanout::new(2.0), 1.0, 20_000, 0.02);
+    graph_vs_model(FanoutSpec::poisson(4.0), 0.9, 20_000, 0.01);
+    graph_vs_model(FanoutSpec::poisson(4.0), 0.5, 20_000, 0.02);
+    graph_vs_model(FanoutSpec::poisson(2.0), 1.0, 20_000, 0.02);
 }
 
 #[test]
 fn non_poisson_giant_components_match() {
-    graph_vs_model(&FixedFanout::new(3), 0.8, 20_000, 0.02);
-    graph_vs_model(&GeometricFanout::with_mean(4.0), 0.9, 20_000, 0.02);
+    graph_vs_model(FanoutSpec::fixed(3), 0.8, 20_000, 0.02);
+    graph_vs_model(FanoutSpec::geometric_with_mean(4.0), 0.9, 20_000, 0.02);
     graph_vs_model(
-        &EmpiricalFanout::new(&[0.0, 0.3, 0.3, 0.0, 0.4]),
+        FanoutSpec::Empirical {
+            weights: vec![0.0, 0.3, 0.3, 0.0, 0.4],
+        },
         0.85,
         20_000,
         0.02,
@@ -50,13 +58,15 @@ fn non_poisson_giant_components_match() {
 
 #[test]
 fn subcritical_graphs_have_no_giant() {
-    let dist = PoissonFanout::new(4.0);
-    let g = ConfigurationModel::new(&dist, 20_000).generate(&mut Xoshiro256StarStar::new(3));
-    let stats = percolate_many(&g, 0.15, &[], 5, 77); // q < q_c = 0.25
+    let scenario = Scenario::new(20_000, FanoutSpec::poisson(4.0))
+        .with_failure_ratio(0.15) // q < q_c = 0.25
+        .with_replications(5)
+        .with_seed(77);
+    let report = GraphBackend.evaluate(&scenario).expect("valid scenario");
     assert!(
-        stats.reliability.mean() < 0.02,
+        report.reliability < 0.02,
         "subcritical giant fraction {}",
-        stats.reliability.mean()
+        report.reliability
     );
 }
 
@@ -110,18 +120,20 @@ fn takeoff_probability_matches_reliability_for_poisson() {
 }
 
 #[test]
-fn mean_component_size_matches_eq2_subcritical() {
-    // Eq. 2 check at graph level: mean size of the component containing
-    // a random occupied node is related to ⟨s⟩; use the direct mean of
-    // finite components against the analytic ⟨s⟩ formula's order.
-    let dist = PoissonFanout::new(2.0);
-    let q = 0.2; // q_c = 0.5, so comfortably subcritical
-    let g = ConfigurationModel::new(&dist, 50_000).generate(&mut Xoshiro256StarStar::new(21));
-    let stats = percolate_many(&g, q, &[], 5, 31);
-    // No giant: largest component stays o(n).
-    assert!(stats.reliability.mean() < 0.01);
-    // Susceptibility (size-biased mean component size) should be finite
-    // and in the ballpark of 1/(1 − q·z) = 1/0.6 scaled; just sanity:
-    assert!(stats.susceptibility.mean() > 1.0);
-    assert!(stats.susceptibility.mean() < 10.0);
+fn graph_backend_loss_matches_lossy_model() {
+    // Bond percolation through the scenario API: Po(6) with 25% loss
+    // must land on the analytic site+bond prediction.
+    let scenario = Scenario::new(20_000, FanoutSpec::poisson(6.0))
+        .with_failure_ratio(0.9)
+        .with_loss(0.25)
+        .with_replications(6)
+        .with_seed(31);
+    let analytic = AnalyticBackend.evaluate(&scenario).expect("valid scenario");
+    let graph = GraphBackend.evaluate(&scenario).expect("valid scenario");
+    assert_close(
+        graph.reliability,
+        analytic.reliability,
+        0.02,
+        "bond+site percolation on graphs",
+    );
 }

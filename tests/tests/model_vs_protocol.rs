@@ -1,32 +1,46 @@
 //! Analytic model vs the full discrete-event protocol — the paper's
-//! Figs. 4/5 agreement claim, spot-checked at representative points.
+//! Figs. 4/5 agreement claim, spot-checked at representative points
+//! through the unified scenario API: the same [`Scenario`] evaluated by
+//! [`AnalyticBackend`] and [`ProtocolBackend`].
 
+use gossip::{AnalyticBackend, Backend, FanoutSpec, ProtocolBackend, Scenario};
 use gossip_integration_tests::assert_close;
-use gossip_model::distribution::{FixedFanout, PoissonFanout};
-use gossip_model::{poisson_case, SitePercolation};
-use gossip_protocol::engine::ExecutionConfig;
-use gossip_protocol::experiment;
+
+fn scenario(n: usize, z: f64, q: f64, reps: usize, seed: u64) -> Scenario {
+    Scenario::new(n, FanoutSpec::poisson(z))
+        .with_failure_ratio(q)
+        .with_replications(reps)
+        .with_seed(seed)
+}
 
 #[test]
 fn fig4_point_q09_f4() {
     // The paper's headline point: n = 1000, Po(4), q = 0.9.
-    let cfg = ExecutionConfig::new(1000, 0.9);
-    let analytic = poisson_case::reliability(4.0, 0.9).unwrap();
-    let stats =
-        experiment::reliability_conditional(&cfg, &PoissonFanout::new(4.0), 20, 1, 0.5 * analytic);
-    assert_close(stats.mean(), analytic, 0.02, "Fig.4 point {f=4, q=0.9}");
+    let point = scenario(1000, 4.0, 0.9, 20, 1);
+    let analytic = AnalyticBackend.evaluate(&point).unwrap();
+    let simulated = ProtocolBackend.evaluate(&point).unwrap();
+    assert_close(
+        simulated.reliability,
+        analytic.reliability,
+        0.02,
+        "Fig.4 point {f=4, q=0.9}",
+    );
+    assert_eq!(simulated.replications, 20);
 }
 
 #[test]
 fn fig5_point_larger_group_closer() {
     // §5.1: the model "works better in larger scale systems" — n = 5000
     // must sit tighter around the analysis than n = 1000 *on average*.
-    let analytic = poisson_case::reliability(4.0, 0.8).unwrap();
-    let dist = PoissonFanout::new(4.0);
+    let analytic = AnalyticBackend
+        .evaluate(&scenario(1000, 4.0, 0.8, 1, 0))
+        .unwrap()
+        .reliability;
     let err_at = |n: usize, seed: u64| {
-        let cfg = ExecutionConfig::new(n, 0.8);
-        let stats = experiment::reliability_conditional(&cfg, &dist, 12, seed, 0.5 * analytic);
-        (stats.mean() - analytic).abs()
+        let report = ProtocolBackend
+            .evaluate(&scenario(n, 4.0, 0.8, 12, seed))
+            .unwrap();
+        (report.reliability - analytic).abs()
     };
     // Average over a few seeds to avoid a single-draw fluke.
     let e_small: f64 = (0..4).map(|s| err_at(1000, s)).sum::<f64>() / 4.0;
@@ -41,33 +55,42 @@ fn fig5_point_larger_group_closer() {
 #[test]
 fn equal_fq_products_equal_reliability() {
     // §5.2: {4.0, 0.9} and {6.0, 0.6} share f·q = 3.6 and hence R.
-    let analytic = poisson_case::reliability(4.0, 0.9).unwrap();
-    let cfg_a = ExecutionConfig::new(2000, 0.9);
-    let cfg_b = ExecutionConfig::new(2000, 0.6);
-    let a = experiment::reliability_conditional(
-        &cfg_a,
-        &PoissonFanout::new(4.0),
-        15,
-        2,
-        0.5 * analytic,
+    let a = ProtocolBackend
+        .evaluate(&scenario(2000, 4.0, 0.9, 15, 2))
+        .unwrap();
+    let b = ProtocolBackend
+        .evaluate(&scenario(2000, 6.0, 0.6, 15, 3))
+        .unwrap();
+    let analytic = AnalyticBackend
+        .evaluate(&scenario(2000, 4.0, 0.9, 1, 0))
+        .unwrap();
+    assert_close(
+        a.reliability,
+        b.reliability,
+        0.02,
+        "equal f·q reliabilities",
     );
-    let b = experiment::reliability_conditional(
-        &cfg_b,
-        &PoissonFanout::new(6.0),
-        15,
-        3,
-        0.5 * analytic,
+    assert_close(
+        a.reliability,
+        analytic.reliability,
+        0.02,
+        "both match Eq. 11",
     );
-    assert_close(a.mean(), b.mean(), 0.02, "equal f·q reliabilities");
-    assert_close(a.mean(), analytic, 0.02, "both match Eq. 11");
 }
 
 #[test]
 fn subcritical_protocol_execution_dies() {
-    // Below q_c = 1/f nothing spreads (Fig. 4a's q = 0.1 rows).
-    let cfg = ExecutionConfig::new(2000, 0.1);
-    let stats = experiment::reliability(&cfg, &PoissonFanout::new(4.0), 10, 4);
-    assert!(stats.mean() < 0.05, "subcritical mean {}", stats.mean());
+    // Below q_c = 1/f nothing spreads (Fig. 4a's q = 0.1 rows). The
+    // subcritical report has no take-off/fizzle split, so the
+    // conditional mean equals the raw mean.
+    let report = ProtocolBackend
+        .evaluate(&scenario(2000, 4.0, 0.1, 10, 4))
+        .unwrap();
+    assert!(
+        report.reliability_raw.unwrap() < 0.05,
+        "subcritical raw mean {}",
+        report.reliability_raw.unwrap()
+    );
 }
 
 #[test]
@@ -81,44 +104,47 @@ fn fixed_fanout_exposes_directed_vs_undirected_gap() {
     // shape. The protocol therefore lands at the Poisson value ≈ 0.9695
     // for ANY fanout distribution with mean 4. The paper validated only
     // with Poisson fanouts, where the two notions coincide (Eq. 11).
-    let dist = FixedFanout::new(4);
-    let undirected = SitePercolation::new(&dist, 0.9)
+    let fixed = Scenario::new(2000, FanoutSpec::fixed(4))
+        .with_failure_ratio(0.9)
+        .with_replications(15)
+        .with_seed(5);
+    let undirected = AnalyticBackend.evaluate(&fixed).unwrap().reliability;
+    let poisson_universal = AnalyticBackend
+        .evaluate(&scenario(2000, 4.0, 0.9, 1, 0))
         .unwrap()
-        .reliability()
-        .unwrap();
-    let poisson_universal = poisson_case::reliability(4.0, 0.9).unwrap();
+        .reliability;
     assert!(
         undirected - poisson_universal > 0.02,
         "the two predictions must differ for this test to bite"
     );
-    let cfg = ExecutionConfig::new(2000, 0.9);
-    let stats =
-        experiment::reliability_conditional(&cfg, &dist, 15, 5, 0.5 * poisson_universal);
+    let simulated = ProtocolBackend.evaluate(&fixed).unwrap();
     // The live protocol tracks the Poisson-universal directed value…
     assert_close(
-        stats.mean(),
+        simulated.reliability,
         poisson_universal,
         0.02,
         "Fixed(4) protocol vs directed (Poisson-universal) prediction",
     );
     // …and sits measurably below the undirected model's promise.
     assert!(
-        stats.mean() < undirected - 0.02,
+        simulated.reliability < undirected - 0.02,
         "protocol ({}) should undershoot the undirected prediction ({undirected})",
-        stats.mean()
+        simulated.reliability
     );
 }
 
 #[test]
 fn message_cost_equals_fanout_per_infected_member() {
     // Every infected member sends exactly its drawn fanout: mean
-    // messages per reached member ≈ mean fanout (clamping aside).
-    let cfg = ExecutionConfig::new(2000, 1.0);
-    let outcomes = experiment::executions(&cfg, &PoissonFanout::new(4.0), 10, 6);
-    for o in outcomes {
-        if o.reliability() > 0.5 {
-            let per_reached = o.messages_sent as f64 / o.nonfailed_reached as f64;
-            assert_close(per_reached, 4.0, 0.15, "messages per infected member");
-        }
-    }
+    // messages per nonfailed member ≈ R · mean fanout, which is what
+    // the analytic backend prices.
+    let point = scenario(2000, 4.0, 1.0, 10, 6);
+    let analytic = AnalyticBackend.evaluate(&point).unwrap();
+    let simulated = ProtocolBackend.evaluate(&point).unwrap();
+    assert_close(
+        simulated.messages_per_member.unwrap(),
+        analytic.messages_per_member.unwrap(),
+        0.2,
+        "messages per nonfailed member",
+    );
 }

@@ -1,0 +1,160 @@
+//! The acceptance tests of the unified scenario API:
+//!
+//! 1. One [`Scenario`] value, evaluated by all four [`Backend`] impls,
+//!    yields reports whose reliabilities agree within Monte-Carlo
+//!    tolerance — on the paper's Fig. 4 operating points (Poisson
+//!    fanout, n = 1000, q ∈ {0.5, 0.7, 0.9}) and on a (z, q) grid
+//!    straddling the critical point `q_c = 1/z`.
+//! 2. `Scenario` round-trips through serde (JSON text).
+
+use gossip::{
+    all_backends, AnalyticBackend, Backend, FailureSpec, FanoutSpec, LatencySpec, MembershipSpec,
+    ProtocolSpec, Report, Scenario, SweepGrid,
+};
+use gossip_integration_tests::assert_close;
+
+/// Evaluates a scenario on every backend and checks pairwise agreement
+/// against the analytic value within `tol`.
+fn assert_backends_agree(scenario: &Scenario, tol: f64) {
+    let analytic = AnalyticBackend.evaluate(scenario).expect("analytic prices");
+    for backend in all_backends() {
+        let report = backend.evaluate(scenario).expect("backend evaluates");
+        assert_close(
+            report.reliability,
+            analytic.reliability,
+            tol,
+            &format!("{} vs analytic on {}", report.backend, scenario.label()),
+        );
+        // Every layer derives the same critical point from P.
+        if let (Some(a), Some(b)) = (analytic.critical_q, report.critical_q) {
+            assert_close(a, b, 1e-12, "critical q across backends");
+        }
+    }
+}
+
+#[test]
+fn fig4_operating_points_agree_across_all_four_backends() {
+    // The ISSUE acceptance grid: Poisson fanout, n = 1000,
+    // q ∈ {0.5, 0.7, 0.9}. Mean fanout 6 keeps every point clearly
+    // supercritical (q_c = 1/6) at Monte-Carlo-resolvable reliability.
+    for &q in &[0.5, 0.7, 0.9] {
+        let scenario = Scenario::new(1000, FanoutSpec::poisson(6.0))
+            .with_failure_ratio(q)
+            .with_replications(30)
+            .with_seed(0xF164);
+        assert_backends_agree(&scenario, 0.03);
+    }
+}
+
+#[test]
+fn poisson_grid_straddling_critical_point_agrees() {
+    // z = 4 → q_c = 0.25. The grid crosses it: two subcritical rows
+    // (reliability 0 everywhere) and two supercritical rows. n = 5000
+    // keeps the near-critical q = 0.2 row's finite-size largest
+    // component safely below the subcritical threshold.
+    let grid = SweepGrid::new(
+        Scenario::new(5000, FanoutSpec::poisson(4.0))
+            .with_replications(25)
+            .with_seed(0xC717),
+    )
+    .over_failure_ratios(&[0.1, 0.2, 0.5, 0.9]);
+
+    for backend in all_backends() {
+        let cells = grid.run(&*backend);
+        for cell in &cells {
+            let report = cell.report.as_ref().expect("grid cell evaluates");
+            let analytic = AnalyticBackend
+                .evaluate(&cell.scenario)
+                .expect("analytic prices");
+            let q = cell.scenario.q().unwrap();
+            if q < 0.25 {
+                // Subcritical: no giant component. The protocol layers
+                // still reach a handful of neighbours of the immortal
+                // source, so allow finite-size slack.
+                assert!(
+                    report.reliability < 0.05,
+                    "{} at q={q}: subcritical reliability {}",
+                    report.backend,
+                    report.reliability
+                );
+            } else {
+                assert_close(
+                    report.reliability,
+                    analytic.reliability,
+                    0.03,
+                    &format!("{} at q={q}", report.backend),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario_serde_roundtrip() {
+    // A scenario exercising every spec enum, including a recursive
+    // mixture, a crash schedule, and non-default everything.
+    let scenario = Scenario::new(
+        5000,
+        FanoutSpec::Mixture {
+            components: vec![
+                (0.7, FanoutSpec::fixed(2)),
+                (0.2, FanoutSpec::poisson(8.0)),
+                (
+                    0.1,
+                    FanoutSpec::PowerLaw {
+                        alpha: 2.5,
+                        kmin: 1,
+                        kmax: 64,
+                    },
+                ),
+            ],
+        },
+    )
+    .with_failure(FailureSpec::Schedule {
+        crashes: vec![(1_000_000, 3), (2_000_000, 77)],
+    })
+    .with_loss(0.125)
+    .with_latency(LatencySpec::ExponentialMillis { mean_ms: 15 })
+    .with_membership(MembershipSpec::Scamp { c: 3 })
+    .with_protocol(ProtocolSpec::PushPull)
+    .with_replications(42)
+    .with_executions(7)
+    .with_seed(0xDEAD_BEEF);
+
+    let text = serde::json::to_string(&scenario).expect("serializes");
+    let back: Scenario = serde::json::from_str(&text).expect("deserializes");
+    assert_eq!(back, scenario, "JSON round-trip must be lossless");
+
+    // Field spot-checks on the wire format: it is real JSON with the
+    // field names intact.
+    assert!(text.contains("\"Mixture\""));
+    assert!(text.contains("\"crashes\""));
+    assert!(text.contains("\"loss\":0.125"));
+
+    // Reports round-trip too.
+    let simple = Scenario::new(1000, FanoutSpec::poisson(4.0)).with_failure_ratio(0.9);
+    let report = AnalyticBackend.evaluate(&simple).unwrap();
+    let report_text = serde::json::to_string(&report).expect("report serializes");
+    let report_back: Report = serde::json::from_str(&report_text).expect("report deserializes");
+    assert_eq!(report_back, report);
+}
+
+#[test]
+fn unsupported_combinations_error_cleanly() {
+    // A scheduled-crash scenario: only netsim runs it; the untimed
+    // layers must say so rather than silently mis-evaluate.
+    let scheduled = Scenario::new(500, FanoutSpec::poisson(6.0))
+        .with_failure(FailureSpec::Schedule { crashes: vec![] })
+        .with_replications(2);
+    let mut supported = 0;
+    for backend in all_backends() {
+        match backend.evaluate(&scheduled) {
+            Ok(_) => supported += 1,
+            Err(gossip::ModelError::Unsupported { backend, what }) => {
+                assert!(!what.is_empty(), "{backend} must explain itself");
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(supported, 1, "exactly netsim supports crash schedules");
+}

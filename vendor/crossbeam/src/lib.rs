@@ -1,0 +1,52 @@
+//! Offline stub of the `crossbeam` scoped-thread API, implemented on
+//! `std::thread::scope` (stable since Rust 1.63). Only the surface this
+//! workspace uses is provided: `crossbeam::scope(|s| { s.spawn(|_| …); })`
+//! returning a `thread::Result`.
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle
+    /// (crossbeam convention) so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Creates a scope in which spawned threads may borrow from the caller's
+/// stack; joins all of them before returning.
+///
+/// `std::thread::scope` propagates child panics by re-panicking, so
+/// unlike crossbeam this never actually returns `Err` — callers that
+/// `.expect()` the result observe the same behaviour either way.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawn_and_join() {
+        let data = [1, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,54 @@
+//! Offline stub of the `rand` crate: exactly the trait surface this
+//! workspace uses (`RngCore`, `SeedableRng`), API-compatible with
+//! rand 0.8 for those items. The container this repo builds in has no
+//! crates.io access, so the real crate cannot be vendored; the
+//! workspace's own generators (`gossip_stats::rng`) implement these
+//! traits so downstream code can stay generic over an RNG.
+
+/// A random number generator: the core sampling interface.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A generator seedable from a fixed-size byte seed or a `u64`.
+pub trait SeedableRng: Sized {
+    /// The seed type (a fixed-size byte array in practice).
+    type Seed;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` convenience seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}

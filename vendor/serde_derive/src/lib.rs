@@ -1,0 +1,431 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build container has no crates.io access, so `syn`/`quote` are
+//! unavailable; this crate parses the derive input by walking raw
+//! `proc_macro` token trees. It supports the shapes this workspace
+//! actually derives on:
+//!
+//! * non-generic structs: named fields, tuple structs, unit structs;
+//! * non-generic enums: unit, tuple, and struct variants.
+//!
+//! Generated impls target the sibling `serde` stub's `Value` data model
+//! (`serialize_value` / `deserialize_value`). `#[serde(...)]` and other
+//! attributes are accepted and ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&name, &shape),
+                Mode::Deserialize => gen_deserialize(&name, &shape),
+            };
+            code.parse()
+                .expect("serde_derive stub generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive stub: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive stub: expected type name".into()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive stub: generic type `{name}` is not supported"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Ok((name, Shape::UnitStruct)),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok((name, Shape::NamedStruct(fields)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok((name, Shape::TupleStruct(arity)))
+            }
+            _ => Err(format!(
+                "serde_derive stub: unsupported struct body for `{name}`"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok((name, Shape::Enum(variants)))
+            }
+            _ => Err(format!(
+                "serde_derive stub: expected enum body for `{name}`"
+            )),
+        },
+        other => Err(format!("serde_derive stub: cannot derive for `{other}`")),
+    }
+}
+
+/// Advances past any leading attributes (`#[...]`) and a visibility
+/// qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `ident: Type, ...` field lists, skipping attributes and
+/// visibility; type tokens are skipped up to the next comma that sits
+/// outside any `<...>` nesting (parens/brackets are opaque groups
+/// already, so only angle brackets need tracking).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected field name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde_derive stub: expected `:` after `{field}`")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Skips tokens of a type expression until a comma at angle-depth 0,
+/// consuming the comma if present.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts fields of a tuple struct/variant: commas at angle-depth 0,
+/// plus one if the stream is non-empty and doesn't end with a comma.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected variant name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(::std::string::String::from({vname:?}), ::serde::Value::Seq(vec![{items}]))])",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::serialize_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => ::serde::Value::Map(vec![(::std::string::String::from({vname:?}), ::serde::Value::Map(vec![{entries}]))])",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(",\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::TupleStruct(arity) => gen_tuple_ctor(name, *arity, "__v"),
+        Shape::NamedStruct(fields) => gen_named_ctor(name, fields, "__v"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{vn:?} => return Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => Some(format!(
+                            "{vn:?} => {{ {ctor} }}",
+                            ctor = gen_tuple_ctor(&format!("{name}::{vn}"), *arity, "__payload")
+                        )),
+                        VariantKind::Named(fields) => Some(format!(
+                            "{vn:?} => {{ {ctor} }}",
+                            ctor = gen_named_ctor(&format!("{name}::{vn}"), fields, "__payload")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                     match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => return Err(::serde::Error::custom(format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 let __map = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected string or map for enum {name}\"))?;\n\
+                 if __map.len() != 1 {{\n\
+                     return Err(::serde::Error::custom(\"expected single-entry map for enum {name}\"));\n\
+                 }}\n\
+                 let (__variant, __payload) = (&__map[0].0, &__map[0].1);\n\
+                 match __variant.as_str() {{\n\
+                     {payload_arms}\n\
+                     __other => Err(::serde::Error::custom(format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                payload_arms = payload_arms.join(",\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             #[allow(unused_variables)]\n\
+             fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Ctor(seq[0]?, seq[1]?, ...)` from a Seq value named `src`.
+fn gen_tuple_ctor(ctor: &str, arity: usize, src: &str) -> String {
+    let items: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::deserialize_value(&__seq[{i}])?"))
+        .collect();
+    format!(
+        "let __seq = {src}.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {ctor}\"))?;\n\
+         if __seq.len() != {arity} {{\n\
+             return Err(::serde::Error::custom(\"wrong arity for {ctor}\"));\n\
+         }}\n\
+         Ok({ctor}({items}))",
+        items = items.join(", ")
+    )
+}
+
+/// `Ctor { f: map[\"f\"]?, ... }` from a Map value named `src`.
+fn gen_named_ctor(ctor: &str, fields: &[String], src: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value(::serde::map_get(__map, {f:?}).ok_or_else(|| ::serde::Error::custom(\"missing field {f} for {ctor}\"))?)?"
+            )
+        })
+        .collect();
+    format!(
+        "let __map = {src}.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {ctor}\"))?;\n\
+         Ok({ctor} {{ {items} }})",
+        items = items.join(", ")
+    )
+}
