@@ -1,0 +1,135 @@
+//! Machine-readable performance snapshots, committed alongside the
+//! code so regressions show up in review diffs:
+//!
+//! * `BENCH_scenario_sweep.json` — wall-clock of the criterion
+//!   baseline's headline case (the 60-cell Fig. 4/5-shaped analytic
+//!   sweep in `benches/scenario_sweep.rs`), re-measured here without
+//!   the criterion harness so the number is one `cargo run` away.
+//! * `BENCH_runtime.json` — the live runtime layer: rounds-to-delivery
+//!   and wall-clock for an n = 256 actor-per-node broadcast over the
+//!   channel transport, with the full (seed-deterministic) report
+//!   embedded.
+//!
+//! ```sh
+//! cargo run --release -p gossip-bench --bin bench_snapshot
+//! ```
+//!
+//! Files land in the current directory (the workspace root under
+//! `cargo run`) or `GOSSIP_SNAPSHOT_DIR`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gossip_model::scenario::{AnalyticBackend, Backend, FanoutSpec, Scenario, SweepGrid};
+use gossip_model::sweep::paper_fanout_grid;
+use gossip_runtime::RuntimeBackend;
+
+fn snapshot_dir() -> PathBuf {
+    std::env::var("GOSSIP_SNAPSHOT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn write(name: &str, json: String) {
+    let path = snapshot_dir().join(name);
+    std::fs::write(&path, json + "\n").expect("write snapshot");
+    println!("wrote {}", path.display());
+}
+
+fn sweep_snapshot() {
+    // The criterion baseline's shape: paper fanout axis × 4 failure
+    // ratios = 60 cells, n = 1000, analytic backend.
+    let means: Vec<f64> = paper_fanout_grid();
+    let grid = SweepGrid::new(
+        Scenario::new(1000, FanoutSpec::poisson(4.0))
+            .with_replications(20)
+            .with_seed(0xBE7C),
+    )
+    .over_poisson_means(&means)
+    .over_failure_ratios(&[0.4, 0.6, 0.8, 1.0]);
+    let cells = grid.len();
+
+    // Warm-up, then measure.
+    let _ = grid.run(&AnalyticBackend);
+    let iters = 10usize;
+    let mut secs: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = grid.run(&AnalyticBackend);
+        secs.push(t0.elapsed().as_secs_f64());
+        assert_eq!(out.len(), cells);
+    }
+    let mean = secs.iter().sum::<f64>() / iters as f64;
+    let min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "analytic sweep: {cells} cells, mean {:.2} ms, min {:.2} ms",
+        mean * 1e3,
+        min * 1e3
+    );
+    write(
+        "BENCH_scenario_sweep.json",
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"scenario/analytic_sweep (criterion baseline, 60-cell case)\",\n",
+                "  \"cells\": {},\n",
+                "  \"iterations\": {},\n",
+                "  \"mean_secs\": {:.6},\n",
+                "  \"min_secs\": {:.6},\n",
+                "  \"cells_per_sec\": {:.1}\n",
+                "}}"
+            ),
+            cells,
+            iters,
+            mean,
+            min,
+            cells as f64 / mean
+        ),
+    );
+}
+
+fn runtime_snapshot() {
+    // A live n = 256 broadcast: actors on OS threads, channel transport.
+    let scenario = Scenario::new(256, FanoutSpec::poisson(6.0))
+        .with_failure_ratio(0.9)
+        .with_loss(0.1)
+        .with_replications(10)
+        .with_seed(0xBE7C);
+    let t0 = Instant::now();
+    let report = RuntimeBackend::channel()
+        .evaluate(&scenario)
+        .expect("runtime evaluates");
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "runtime n=256: R = {:.4}, rounds ≈ {:.1}, {:.2} s for {} reps",
+        report.reliability,
+        report.rounds.unwrap_or(0.0),
+        wall,
+        report.replications
+    );
+    write(
+        "BENCH_runtime.json",
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"runtime/channel n=256 Po(6) q=0.9 loss=0.1\",\n",
+                "  \"wall_clock_secs\": {:.6},\n",
+                "  \"rounds_to_delivery\": {:.4},\n",
+                "  \"reliability\": {:.6},\n",
+                "  \"messages_per_member\": {:.4},\n",
+                "  \"report\": {}\n",
+                "}}"
+            ),
+            wall,
+            report.rounds.expect("supercritical point takes off"),
+            report.reliability,
+            report.messages_per_member.expect("runtime counts messages"),
+            serde::json::to_string(&report).expect("report serializes")
+        ),
+    );
+}
+
+fn main() {
+    sweep_snapshot();
+    runtime_snapshot();
+}

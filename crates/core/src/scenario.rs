@@ -1,22 +1,37 @@
 //! The unified `Scenario` → [`Backend`] → [`Report`] API.
 //!
 //! The paper answers one question — *what does `Gossip(n, P, q)`
-//! deliver?* — four ways: analytically (Eqs. 3–12), by random-graph
-//! percolation, by Monte-Carlo protocol runs (§5), and on a simulated
-//! network. This module gives all four evaluation layers one declarative
-//! entry point:
+//! deliver?* — and this workspace answers it five ways through one
+//! declarative entry point:
+//!
+//! | backend | layer | honours |
+//! |---|---|---|
+//! | `AnalyticBackend` | generating functions (Eqs. 3–12) | fanout, `q`, loss, protocol, executions |
+//! | `GraphBackend` | random-graph percolation census | fanout, `q`, loss, replications |
+//! | `ProtocolBackend` | Monte-Carlo protocol runs (§5) | fanout, `q`, membership, protocol, replications |
+//! | `NetSimBackend` | discrete-event network simulation | everything above + latency, loss, crash schedules |
+//! | `RuntimeBackend` | live threads exchanging real messages | fanout, `q`, loss, latency (virtual clock), crash schedules, [`RuntimeSpec`] |
+//!
+//! The first four layers *model* the protocol; the fifth (crate
+//! `gossip-runtime`) *executes* it — one thread per node, typed gossip
+//! messages over an in-process channel or a TCP-loopback transport — so
+//! the analytic predictions are validated against a real message-passing
+//! implementation, not only simulations.
+//!
+//! The moving parts:
 //!
 //! * [`Scenario`] — a serde-friendly, data-describable experiment
 //!   description: group size, fanout ([`FanoutSpec`], all eight
 //!   distributions plus mixtures), failures ([`FailureSpec`]), message
 //!   loss, latency ([`LatencySpec`]), membership ([`MembershipSpec`]),
-//!   protocol variant ([`ProtocolSpec`]), replication count, and seed.
+//!   protocol variant ([`ProtocolSpec`]), runtime execution knobs
+//!   ([`RuntimeSpec`]), replication count, and seed.
 //! * [`Backend`] — an object-safe evaluator `&Scenario → Report`. The
 //!   analytic backend lives here ([`AnalyticBackend`]); the graph,
-//!   protocol, and netsim backends live in their own crates
-//!   (`gossip_rgraph::GraphBackend`, `gossip_protocol::ProtocolBackend`
-//!   and `gossip_protocol::NetSimBackend`) and are re-exported together
-//!   at the workspace root (`gossip`).
+//!   protocol, netsim, and runtime backends live in their own crates
+//!   (`gossip_rgraph::GraphBackend`, `gossip_protocol::ProtocolBackend`,
+//!   `gossip_protocol::NetSimBackend`, `gossip_runtime::RuntimeBackend`)
+//!   and are re-exported together at the workspace root (`gossip`).
 //! * [`Report`] — a typed result every backend fills the same way, so
 //!   a Fig. 4 operating point evaluated analytically and by simulation
 //!   is directly comparable.
@@ -351,6 +366,25 @@ impl Default for LatencySpec {
     }
 }
 
+/// Execution knobs for the live runtime backend (`gossip-runtime`) —
+/// the one layer that spawns real threads and moves real messages, so
+/// it needs resource bounds the model layers do not.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeSpec {
+    /// Upper bound on OS threads one runtime execution may spawn. Node
+    /// actors are multiplexed over this many shard threads when `n`
+    /// exceeds it; `0` (default) picks an automatic bound from the
+    /// machine's parallelism (and a nested run inside a `SweepGrid`
+    /// sweep always collapses to one shard, so sweeps cannot
+    /// oversubscribe).
+    pub max_threads: usize,
+    /// Real-time pacing of [`LatencySpec`]: microseconds of wall-clock
+    /// delay applied per millisecond of virtual latency. `0` (default)
+    /// disables pacing — the virtual clock still stamps every message,
+    /// but nothing sleeps. Capped at 1000 (real time) by validation.
+    pub pacing_micros_per_milli: u64,
+}
+
 /// A declarative description of one evaluation: *what* to gossip-model,
 /// independent of *which layer* evaluates it.
 ///
@@ -372,6 +406,8 @@ pub struct Scenario {
     pub membership: MembershipSpec,
     /// Protocol variant (default: the paper's push).
     pub protocol: ProtocolSpec,
+    /// Live-runtime execution knobs (thread cap, latency pacing).
+    pub runtime: RuntimeSpec,
     /// Monte-Carlo replications for simulation backends (paper: 20).
     pub replications: usize,
     /// Execution count `t` for the success-of-gossiping calculus
@@ -394,6 +430,7 @@ impl Scenario {
             latency: LatencySpec::default(),
             membership: MembershipSpec::Full,
             protocol: ProtocolSpec::Push,
+            runtime: RuntimeSpec::default(),
             replications: 20,
             executions: 1,
             seed: 0x1CC_2008, // "ICPP 2008"
@@ -433,6 +470,12 @@ impl Scenario {
     /// Sets the protocol variant.
     pub fn with_protocol(mut self, protocol: ProtocolSpec) -> Self {
         self.protocol = protocol;
+        self
+    }
+
+    /// Sets the live-runtime execution knobs.
+    pub fn with_runtime(mut self, runtime: RuntimeSpec) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -514,6 +557,23 @@ impl Scenario {
                 requirement: "need at least one replication",
             });
         }
+        // Runtime knobs: the live backend spawns threads and sleeps for
+        // real, so absurd values must fail fast here, before anything
+        // is spawned.
+        if self.runtime.max_threads > 4096 {
+            return Err(ModelError::InvalidParameter {
+                name: "max_threads",
+                value: self.runtime.max_threads as f64,
+                requirement: "runtime thread cap must be at most 4096 (0 = auto)",
+            });
+        }
+        if self.runtime.pacing_micros_per_milli > 1000 {
+            return Err(ModelError::InvalidParameter {
+                name: "pacing_micros_per_milli",
+                value: self.runtime.pacing_micros_per_milli as f64,
+                requirement: "latency pacing is capped at 1000 µs/ms (real time)",
+            });
+        }
         Ok(())
     }
 
@@ -576,6 +636,12 @@ pub struct Report {
     /// Mean simulated seconds to dissemination quiescence (timed
     /// backends only).
     pub quiescence_secs: Option<f64>,
+    /// Transport the live runtime backend moved messages over
+    /// (`"channel"` or `"tcp"`); `None` for every model layer.
+    pub transport: Option<String>,
+    /// Mean messages lost in transit per execution — injected loss plus
+    /// sends to crashed peers (live runtime backend only).
+    pub messages_lost: Option<f64>,
     /// The §4.2 success calculus applied to this backend's reliability:
     /// `1 − (1 − R)^t` for the scenario's `t = executions` (Eq. 5).
     pub success_within_t: f64,
@@ -685,6 +751,8 @@ impl Backend for AnalyticBackend {
             rounds: None,
             messages_per_member,
             quiescence_secs: None,
+            transport: None,
+            messages_lost: None,
             success_within_t: success::success_probability(reliability, scenario.executions),
         })
     }
@@ -896,6 +964,39 @@ mod tests {
                 .validate()
                 .is_err()
         );
+    }
+
+    #[test]
+    fn validate_rejects_bad_runtime_knobs() {
+        // The runtime backend spawns real threads and sleeps for real:
+        // a bogus cap or slower-than-real-time pacing must fail fast.
+        let capped = headline().with_runtime(RuntimeSpec {
+            max_threads: 100_000,
+            pacing_micros_per_milli: 0,
+        });
+        assert!(matches!(
+            capped.validate(),
+            Err(ModelError::InvalidParameter {
+                name: "max_threads",
+                ..
+            })
+        ));
+        let paced = headline().with_runtime(RuntimeSpec {
+            max_threads: 0,
+            pacing_micros_per_milli: 5000,
+        });
+        assert!(matches!(
+            paced.validate(),
+            Err(ModelError::InvalidParameter {
+                name: "pacing_micros_per_milli",
+                ..
+            })
+        ));
+        // The defaults are always valid.
+        assert!(headline()
+            .with_runtime(RuntimeSpec::default())
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -219,6 +219,8 @@ fn evaluate_monte_carlo(
         } else {
             None
         },
+        transport: None,
+        messages_lost: None,
         success_within_t: success::success_probability(reliability, scenario.executions),
     })
 }

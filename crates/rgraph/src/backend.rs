@@ -92,6 +92,8 @@ impl Backend for GraphBackend {
             rounds: None,
             messages_per_member: None,
             quiescence_secs: None,
+            transport: None,
+            messages_lost: None,
             success_within_t: success::success_probability(reliability, scenario.executions),
         })
     }

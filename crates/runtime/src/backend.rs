@@ -1,0 +1,369 @@
+//! [`RuntimeBackend`] — the live-execution layer of the unified
+//! `Scenario` → `Backend` → `Report` API.
+//!
+//! Where the protocol and netsim backends *simulate* concurrency inside
+//! one event loop, this backend actually runs it: node actors on real
+//! OS threads, messages through a pluggable [`Transport`]. The same
+//! Monte-Carlo reduction as the model layers (take-off conditioning,
+//! seed-derived replications) sits on top, so a runtime [`Report`] is
+//! directly comparable with the other four backends — that agreement is
+//! the end-to-end check that the *implemented* protocol, not just its
+//! models, matches the paper's predictions.
+
+use std::time::Duration;
+
+use gossip_model::loss::LossyGossip;
+use gossip_model::percolation::SitePercolation;
+use gossip_model::scenario::{Backend, MembershipSpec, ProtocolSpec, Report, Scenario};
+use gossip_model::{success, ModelError};
+use gossip_stats::descriptive::OnlineStats;
+use gossip_stats::parallel::in_parallel_worker;
+use gossip_stats::rng::SplitMix64;
+
+use crate::channel::ChannelTransport;
+use crate::exec::{run_execution, ExecOutcome, ExecParams};
+use crate::tcp::TcpTransport;
+use crate::transport::Transport;
+
+/// The member the broadcast is injected at.
+const SOURCE: u32 = 0;
+
+/// Watchdog deadline for a single execution: far beyond any healthy
+/// quiescence time, tight enough that a wedged transport fails the run
+/// instead of hanging the caller.
+const EXECUTION_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Group-size ceiling for the TCP transport: each alive member holds an
+/// open listener, so `n` is bounded by the process fd budget.
+const TCP_MAX_GROUP: usize = 1024;
+
+/// Which wire the runtime puts messages on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process mailboxes: fast and byte-deterministic in the seed.
+    #[default]
+    Channel,
+    /// Real loopback TCP sockets with line-delimited JSON framing.
+    Tcp,
+}
+
+/// The live-execution backend (see module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeBackend {
+    transport: TransportKind,
+}
+
+impl RuntimeBackend {
+    /// Runtime over the in-process channel transport (the default).
+    pub fn channel() -> Self {
+        RuntimeBackend {
+            transport: TransportKind::Channel,
+        }
+    }
+
+    /// Runtime over loopback TCP sockets.
+    pub fn tcp() -> Self {
+        RuntimeBackend {
+            transport: TransportKind::Tcp,
+        }
+    }
+
+    /// The configured transport.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+}
+
+/// How many shard threads to multiplex `n` node actors over.
+///
+/// `max_threads = 0` picks an automatic width from the machine's
+/// parallelism; an explicit value is honoured (capped by `n`). When the
+/// caller is *already* inside a `parallel_map` worker — a sweep grid
+/// evaluating cells in parallel — the runtime collapses to one shard so
+/// the two layers cannot multiply into `workers²` oversubscription.
+pub fn shard_count(n: usize, max_threads: usize, nested: bool) -> usize {
+    if nested {
+        return 1;
+    }
+    let shards = if max_threads == 0 {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        (cores * 8).clamp(8, 256)
+    } else {
+        max_threads
+    };
+    shards.min(n).max(1)
+}
+
+fn reject_unsupported(scenario: &Scenario, n_cap: Option<usize>) -> Result<(), ModelError> {
+    if scenario.membership != MembershipSpec::Full {
+        return Err(ModelError::Unsupported {
+            backend: "runtime",
+            what: "partial-view membership (runtime actors hold the full view; use the protocol backend for SCAMP)",
+        });
+    }
+    if scenario.protocol == ProtocolSpec::PushPull {
+        return Err(ModelError::Unsupported {
+            backend: "runtime",
+            what: "push-pull anti-entropy (the runtime implements push and flood; use the protocol backend)",
+        });
+    }
+    if let Some(cap) = n_cap {
+        if scenario.n > cap {
+            return Err(ModelError::Unsupported {
+                backend: "runtime-tcp",
+                what: "groups larger than 1024 over TCP (one loopback listener per member exhausts the fd budget; use the channel transport)",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the scenario's replications sequentially over `transport` and
+/// reduces them exactly like the protocol backend's Monte-Carlo runner.
+fn evaluate_over<T: Transport>(
+    transport: &T,
+    scenario: &Scenario,
+    backend_name: String,
+) -> Result<Report, ModelError> {
+    let dist = scenario.fanout.build()?;
+    let shards = shard_count(
+        scenario.n,
+        scenario.runtime.max_threads,
+        in_parallel_worker(),
+    );
+    let params = ExecParams {
+        n: scenario.n,
+        source: SOURCE,
+        dist: &*dist,
+        loss: scenario.loss,
+        latency: scenario.latency,
+        failure: &scenario.failure,
+        flood: scenario.protocol == ProtocolSpec::Flood,
+        shards,
+        pacing_micros_per_milli: scenario.runtime.pacing_micros_per_milli,
+        deadline: EXECUTION_DEADLINE,
+    };
+
+    // Replications run sequentially: each one already fans out over the
+    // shard threads (and, over TCP, the kernel), so stacking replication
+    // parallelism on top would oversubscribe without adding fidelity.
+    let mut outcomes: Vec<ExecOutcome> = Vec::with_capacity(scenario.replications);
+    for rep in 0..scenario.replications {
+        let seed = SplitMix64::derive(scenario.seed, rep as u64);
+        let outcome = run_execution(transport, &params, seed)?;
+        if outcome.timed_out {
+            return Err(ModelError::NoConvergence {
+                what: "runtime quiescence (a live execution hit its watchdog deadline)",
+                iterations: rep,
+            });
+        }
+        outcomes.push(outcome);
+    }
+
+    // Take-off conditioning, mirroring the protocol backend: threshold
+    // at half the analytic prediction (0 when subcritical).
+    let threshold = match scenario.protocol {
+        ProtocolSpec::Push => {
+            let q = scenario.q().unwrap_or(1.0);
+            let prediction = LossyGossip::new(&*dist, q, scenario.loss)
+                .and_then(|m| m.reliability())
+                .unwrap_or(1.0);
+            if prediction < 0.05 {
+                0.0
+            } else {
+                0.5 * prediction
+            }
+        }
+        ProtocolSpec::Flood | ProtocolSpec::PushPull => 0.5,
+    };
+    let mut conditional = OnlineStats::new();
+    let mut raw = OnlineStats::new();
+    let mut rounds = OnlineStats::new();
+    let mut messages = OnlineStats::new();
+    let mut lost = OnlineStats::new();
+    let mut takeoffs = 0usize;
+    for outcome in &outcomes {
+        messages.push(outcome.messages_per_member());
+        lost.push(outcome.messages_lost as f64);
+        let r = outcome.reliability();
+        raw.push(r);
+        if r > threshold {
+            takeoffs += 1;
+            conditional.push(r);
+            rounds.push(outcome.depth as f64);
+        }
+    }
+    let reliability = if conditional.count() == 0 {
+        0.0
+    } else {
+        conditional.mean()
+    };
+    let ci = conditional.ci95();
+    let critical_q = SitePercolation::new(&*dist, 1.0)?.critical_q();
+    Ok(Report {
+        backend: backend_name,
+        scenario: scenario.label(),
+        replications: outcomes.len(),
+        reliability,
+        reliability_std_error: conditional.sem(),
+        reliability_ci95: (ci.lo, ci.hi),
+        reliability_raw: Some(raw.mean()),
+        critical_q,
+        takeoff_rate: Some(takeoffs as f64 / outcomes.len().max(1) as f64),
+        rounds: if takeoffs == 0 {
+            None
+        } else {
+            Some(rounds.mean())
+        },
+        messages_per_member: Some(messages.mean()),
+        // Wall-clock is scheduling noise, not protocol behaviour: keep
+        // it out of the Report so runtime reports replay byte-for-byte.
+        quiescence_secs: None,
+        transport: Some(transport.name().to_string()),
+        messages_lost: Some(lost.mean()),
+        success_within_t: success::success_probability(reliability, scenario.executions),
+    })
+}
+
+impl Backend for RuntimeBackend {
+    fn name(&self) -> &'static str {
+        match self.transport {
+            TransportKind::Channel => "runtime",
+            TransportKind::Tcp => "runtime-tcp",
+        }
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Report, ModelError> {
+        scenario.validate()?;
+        match self.transport {
+            TransportKind::Channel => {
+                reject_unsupported(scenario, None)?;
+                evaluate_over(&ChannelTransport, scenario, self.name().into())
+            }
+            TransportKind::Tcp => {
+                reject_unsupported(scenario, Some(TCP_MAX_GROUP))?;
+                evaluate_over(&TcpTransport, scenario, self.name().into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::scenario::{AnalyticBackend, FanoutSpec, LatencySpec, RuntimeSpec};
+
+    fn headline(n: usize, reps: usize) -> Scenario {
+        Scenario::new(n, FanoutSpec::poisson(6.0))
+            .with_failure_ratio(0.9)
+            .with_replications(reps)
+    }
+
+    #[test]
+    fn channel_matches_analytic() {
+        let scenario = headline(500, 10);
+        let analytic = AnalyticBackend.evaluate(&scenario).unwrap();
+        let live = RuntimeBackend::channel().evaluate(&scenario).unwrap();
+        assert_eq!(live.backend, "runtime");
+        assert_eq!(live.transport.as_deref(), Some("channel"));
+        assert!(
+            (live.reliability - analytic.reliability).abs() < 0.05,
+            "runtime {} vs analytic {}",
+            live.reliability,
+            analytic.reliability
+        );
+        assert!(live.rounds.unwrap() > 1.0);
+        assert!(live.messages_per_member.unwrap() > 1.0);
+        assert_eq!(live.quiescence_secs, None);
+    }
+
+    #[test]
+    fn tcp_matches_analytic_small_group() {
+        let scenario = headline(96, 4);
+        let analytic = AnalyticBackend.evaluate(&scenario).unwrap();
+        let live = RuntimeBackend::tcp().evaluate(&scenario).unwrap();
+        assert_eq!(live.backend, "runtime-tcp");
+        assert_eq!(live.transport.as_deref(), Some("tcp"));
+        assert!(
+            (live.reliability - analytic.reliability).abs() < 0.12,
+            "tcp runtime {} vs analytic {}",
+            live.reliability,
+            analytic.reliability
+        );
+    }
+
+    #[test]
+    fn runtime_honours_loss() {
+        // Loss thins the relay graph exactly like bond percolation.
+        let lossy = headline(500, 8).with_loss(0.25);
+        let analytic = AnalyticBackend.evaluate(&lossy).unwrap();
+        let live = RuntimeBackend::channel().evaluate(&lossy).unwrap();
+        assert!(
+            (live.reliability - analytic.reliability).abs() < 0.06,
+            "lossy runtime {} vs analytic {}",
+            live.reliability,
+            analytic.reliability
+        );
+        assert!(live.messages_lost.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn flood_reaches_everyone_alive() {
+        let scenario = headline(200, 3).with_protocol(ProtocolSpec::Flood);
+        let live = RuntimeBackend::channel().evaluate(&scenario).unwrap();
+        assert!(live.reliability > 0.999, "flood r = {}", live.reliability);
+    }
+
+    #[test]
+    fn rejects_unsupported_combinations() {
+        assert!(matches!(
+            RuntimeBackend::channel()
+                .evaluate(&headline(100, 2).with_membership(MembershipSpec::Scamp { c: 2 })),
+            Err(ModelError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            RuntimeBackend::channel()
+                .evaluate(&headline(100, 2).with_protocol(ProtocolSpec::PushPull)),
+            Err(ModelError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            RuntimeBackend::tcp().evaluate(&headline(2000, 2)),
+            Err(ModelError::Unsupported { .. })
+        ));
+        // The channel transport has no fd budget: n = 2000 is fine.
+        assert!(RuntimeBackend::channel()
+            .evaluate(&headline(2000, 1))
+            .is_ok());
+    }
+
+    #[test]
+    fn shard_count_policy() {
+        // Nested inside a parallel_map worker: always one shard.
+        assert_eq!(shard_count(1000, 0, true), 1);
+        assert_eq!(shard_count(1000, 64, true), 1);
+        // Explicit cap honoured, bounded by the group size.
+        assert_eq!(shard_count(1000, 4, false), 4);
+        assert_eq!(shard_count(2, 64, false), 2);
+        // Auto: at least 8 shards, never more than members.
+        let auto = shard_count(1000, 0, false);
+        assert!((8..=256).contains(&auto));
+        assert_eq!(shard_count(3, 0, false), 3);
+    }
+
+    #[test]
+    fn pacing_slows_wall_clock_not_results() {
+        let base = headline(64, 2).with_latency(LatencySpec::ConstantMillis { ms: 20 });
+        let paced = base.clone().with_runtime(RuntimeSpec {
+            max_threads: 0,
+            pacing_micros_per_milli: 50,
+        });
+        let fast = RuntimeBackend::channel().evaluate(&base).unwrap();
+        let t0 = std::time::Instant::now();
+        let slow = RuntimeBackend::channel().evaluate(&paced).unwrap();
+        let paced_wall = t0.elapsed();
+        assert_eq!(fast.reliability, slow.reliability);
+        assert_eq!(fast.rounds, slow.rounds);
+        // ~6 relay generations × 20 ms × 50 µs/ms ≈ 6 ms per rep floor.
+        assert!(paced_wall > Duration::from_millis(2), "pacing was a no-op");
+    }
+}

@@ -1,0 +1,457 @@
+//! One live broadcast execution: spawn node actors on real threads,
+//! inject the message at the source, run the paper's push algorithm
+//! over a [`Transport`], and measure the outcome.
+//!
+//! ## Determinism
+//!
+//! Every random draw — crash pattern, fanout, targets, loss, latency —
+//! comes from a per-node generator seeded by `(execution seed, node
+//! id)`, and a node relays on *first* receipt no matter which copy wins
+//! the race. The set of messages that ever exists is therefore a pure
+//! function of the seed, independent of thread interleaving, and so is
+//! everything the [`ExecOutcome`] reports: delivery metrics come from
+//! the actors' own records, and dissemination depth is the BFS depth
+//! over the recorded successful relays (the scheduling-independent
+//! min-hop, not the racy first-arrival hop). The one exception is
+//! scheduled mid-run crashes, where the virtual arrival stamp of the
+//! *first* copy decides survival — documented as best-effort.
+//!
+//! ## Quiescence
+//!
+//! The push protocol relays once per node, so a broadcast is over when
+//! no message is in flight; the shared [`Fabric`] counter detects that
+//! exactly (see its docs), and a deadline watchdog aborts a wedged run
+//! rather than hanging the caller.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gossip_model::distribution::FanoutDistribution;
+use gossip_model::scenario::{FailureSpec, LatencySpec};
+use gossip_model::ModelError;
+use gossip_stats::rng::{SplitMix64, Xoshiro256StarStar};
+
+use crate::transport::{Endpoint, Fabric, Transport};
+use crate::wire::WireMessage;
+
+/// Seed-stream tags (mixed into `SplitMix64::derive`) so the failure
+/// pattern and per-node draws are decorrelated.
+const FAILURE_STREAM: u64 = 0xFA11;
+const NODE_STREAM: u64 = 0x0A_C708; // "ACTOR"
+
+/// Everything one execution needs, borrowed from the backend.
+pub(crate) struct ExecParams<'a> {
+    /// Group size.
+    pub n: usize,
+    /// Source member (immortal under the paper's failure model).
+    pub source: u32,
+    /// Fanout distribution `P`.
+    pub dist: &'a dyn FanoutDistribution,
+    /// Independent per-message loss probability.
+    pub loss: f64,
+    /// Latency model feeding the virtual clock (and real pacing).
+    pub latency: LatencySpec,
+    /// Failure model.
+    pub failure: &'a FailureSpec,
+    /// Flood instead of push: relay to every other member.
+    pub flood: bool,
+    /// Shard threads to multiplex node actors over.
+    pub shards: usize,
+    /// Real-time pacing (µs of wall-clock per ms of virtual latency).
+    pub pacing_micros_per_milli: u64,
+    /// Watchdog deadline for one execution.
+    pub deadline: Duration,
+}
+
+/// Measured results of one live execution.
+pub(crate) struct ExecOutcome {
+    /// Members in the reliability denominator (alive, never scheduled
+    /// to crash).
+    pub nonfailed: usize,
+    /// Denominator members that received the message.
+    pub nonfailed_reached: usize,
+    /// Messages handed to the transport, injection included.
+    pub messages_sent: u64,
+    /// Messages that died in transit (injected loss + dead peers).
+    pub messages_lost: u64,
+    /// BFS relay depth of the delivered set (the paper's "rounds").
+    pub depth: u32,
+    /// True when the watchdog aborted the run instead of quiescence.
+    pub timed_out: bool,
+}
+
+impl ExecOutcome {
+    /// Reliability `n_rece / n_nonfailed` (paper §4.2).
+    pub fn reliability(&self) -> f64 {
+        if self.nonfailed == 0 {
+            0.0
+        } else {
+            self.nonfailed_reached as f64 / self.nonfailed as f64
+        }
+    }
+
+    /// Messages per nonfailed member — the protocol's unit cost.
+    pub fn messages_per_member(&self) -> f64 {
+        if self.nonfailed == 0 {
+            0.0
+        } else {
+            self.messages_sent as f64 / self.nonfailed as f64
+        }
+    }
+}
+
+/// One recorded relay attempt.
+struct Edge {
+    to: u32,
+    lost: bool,
+}
+
+/// A planned relay: the edge it records plus the frame to put on the
+/// wire (absent when sender-side loss already killed it).
+struct Relay {
+    edge_idx: usize,
+    to: u32,
+    msg: WireMessage,
+}
+
+/// Per-node protocol state — the actor.
+struct Actor {
+    id: u32,
+    n: u32,
+    rng: Xoshiro256StarStar,
+    /// Virtual time this node crashes at (`None` = stays up).
+    crash_at_ns: Option<u64>,
+    delivered: bool,
+    edges: Vec<Edge>,
+}
+
+impl Actor {
+    fn new(id: u32, n: usize, exec_seed: u64, crash_at_ns: Option<u64>) -> Self {
+        let node_seed = SplitMix64::derive(SplitMix64::derive(exec_seed, NODE_STREAM), id as u64);
+        Actor {
+            id,
+            n: n as u32,
+            rng: Xoshiro256StarStar::new(node_seed),
+            crash_at_ns,
+            delivered: false,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Fig. 1, live: on first receipt draw `f ~ P`, pick `f` distinct
+    /// uniform targets, relay; duplicates are discarded. Returns the
+    /// relays that survived sender-side loss injection.
+    fn handle(&mut self, msg: &WireMessage, p: &ExecParams<'_>) -> Vec<Relay> {
+        if let Some(crash_at) = self.crash_at_ns {
+            if msg.arrival_virtual_ns >= crash_at {
+                return Vec::new(); // arrived at a crashed process
+            }
+        }
+        if self.delivered {
+            return Vec::new(); // duplicate receipt: discard (Fig. 1)
+        }
+        self.delivered = true;
+        let fanout = if p.flood {
+            self.n as usize - 1
+        } else {
+            p.dist.sample(&mut self.rng)
+        };
+        let targets = self.pick_targets(fanout);
+        let mut relays = Vec::with_capacity(targets.len());
+        for to in targets {
+            let lost = self.rng.next_f64() < p.loss;
+            let latency_ns = draw_latency_ns(&mut self.rng, p.latency);
+            let edge_idx = self.edges.len();
+            self.edges.push(Edge { to, lost });
+            if !lost {
+                relays.push(Relay {
+                    edge_idx,
+                    to,
+                    msg: WireMessage {
+                        id: msg.id,
+                        from: self.id,
+                        hop: msg.hop + 1,
+                        arrival_virtual_ns: msg.arrival_virtual_ns.saturating_add(latency_ns),
+                    },
+                });
+            }
+        }
+        relays
+    }
+
+    /// `f` distinct uniform members other than self (all of them when
+    /// `f` exceeds the view).
+    fn pick_targets(&mut self, f: usize) -> Vec<u32> {
+        let others = (self.n - 1) as usize;
+        if f >= others {
+            return (0..self.n).filter(|&v| v != self.id).collect();
+        }
+        let mut chosen: Vec<u32> = Vec::with_capacity(f);
+        while chosen.len() < f {
+            let mut v = self.rng.next_below(self.n as u64 - 1) as u32;
+            if v >= self.id {
+                v += 1;
+            }
+            if !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        chosen
+    }
+}
+
+/// Draws one edge latency in virtual nanoseconds.
+fn draw_latency_ns(rng: &mut Xoshiro256StarStar, spec: LatencySpec) -> u64 {
+    const NS_PER_MS: u64 = 1_000_000;
+    match spec {
+        LatencySpec::ConstantMillis { ms } => ms * NS_PER_MS,
+        LatencySpec::UniformMillis { lo_ms, hi_ms } => {
+            let span = (hi_ms - lo_ms) * NS_PER_MS;
+            lo_ms * NS_PER_MS + rng.next_below(span + 1)
+        }
+        LatencySpec::ExponentialMillis { mean_ms } => {
+            let u = rng.next_f64();
+            (-(mean_ms as f64) * (1.0 - u).max(f64::MIN_POSITIVE).ln() * NS_PER_MS as f64) as u64
+        }
+    }
+}
+
+/// The group's failure layout for one execution: who starts alive, who
+/// crashes when, and who counts in the reliability denominator.
+struct FailureLayout {
+    alive: Vec<bool>,
+    crash_at_ns: Vec<Option<u64>>,
+    counted: Vec<bool>,
+}
+
+fn failure_layout(n: usize, source: u32, failure: &FailureSpec, exec_seed: u64) -> FailureLayout {
+    let mut alive = vec![true; n];
+    let mut crash_at_ns: Vec<Option<u64>> = vec![None; n];
+    let mut counted = vec![true; n];
+    match failure {
+        FailureSpec::None => {}
+        FailureSpec::Random { q } => {
+            // The paper's model: each non-source member is up with
+            // probability q, independently; the source is immortal.
+            let mut rng = Xoshiro256StarStar::new(SplitMix64::derive(exec_seed, FAILURE_STREAM));
+            for i in 0..n {
+                if i as u32 != source && rng.next_f64() >= *q {
+                    alive[i] = false;
+                    counted[i] = false;
+                }
+            }
+        }
+        FailureSpec::Schedule { crashes } => {
+            // A scheduled member is crashed by the end of the run, so it
+            // leaves the denominator (matching the netsim convention);
+            // time 0 means it never participates at all.
+            for &(t_ns, member) in crashes {
+                let i = member as usize;
+                counted[i] = false;
+                if t_ns == 0 {
+                    alive[i] = false;
+                } else {
+                    crash_at_ns[i] =
+                        Some(crash_at_ns[i].map_or(t_ns, |existing| existing.min(t_ns)));
+                }
+            }
+        }
+    }
+    FailureLayout {
+        alive,
+        crash_at_ns,
+        counted,
+    }
+}
+
+/// Processes one frame on an actor: run the protocol, put surviving
+/// relays on the wire, settle the frame.
+fn process<E: Endpoint>(
+    actor: &mut Actor,
+    ep: &mut E,
+    msg: &WireMessage,
+    p: &ExecParams<'_>,
+    fabric: &Fabric,
+) {
+    let relays = actor.handle(msg, p);
+    for relay in relays {
+        if !ep.send(relay.to, &relay.msg) {
+            // Peer unreachable: the relay died in transit.
+            actor.edges[relay.edge_idx].lost = true;
+        }
+    }
+    fabric.message_settled();
+}
+
+/// The loop a shard thread runs: round-robin over its actors' inboxes
+/// until the fabric reports quiescence (or the deadline trips).
+fn shard_loop<E: Endpoint>(
+    mut group: Vec<(Actor, E)>,
+    p: &ExecParams<'_>,
+    fabric: &Fabric,
+    epoch: Instant,
+) -> Vec<Actor> {
+    // Frames held back by real-time pacing until their scaled virtual
+    // arrival time: (actor index, due, frame).
+    let mut held: Vec<(usize, Instant, WireMessage)> = Vec::new();
+    loop {
+        let mut progressed = false;
+        for (idx, (actor, ep)) in group.iter_mut().enumerate() {
+            while let Some(msg) = ep.poll() {
+                if p.pacing_micros_per_milli > 0 {
+                    let wall_us = msg.arrival_virtual_ns / 1_000_000 * p.pacing_micros_per_milli;
+                    let due = epoch + Duration::from_micros(wall_us);
+                    if Instant::now() < due {
+                        held.push((idx, due, msg));
+                        continue;
+                    }
+                }
+                process(actor, ep, &msg, p, fabric);
+                progressed = true;
+            }
+        }
+        let now = Instant::now();
+        let mut i = 0;
+        while i < held.len() {
+            if held[i].1 <= now {
+                let (idx, _, msg) = held.swap_remove(i);
+                let (actor, ep) = &mut group[idx];
+                process(actor, ep, &msg, p, fabric);
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if fabric.is_done() {
+            break;
+        }
+        if !progressed {
+            if epoch.elapsed() > p.deadline {
+                fabric.abort();
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    group.into_iter().map(|(actor, _)| actor).collect()
+}
+
+/// BFS depth of the delivered set over the recorded successful relays —
+/// the scheduling-independent dissemination depth.
+fn bfs_depth(n: usize, source: u32, delivered: &[bool], adjacency: &[Vec<u32>]) -> u32 {
+    let mut depth: Vec<Option<u32>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut max_depth = 0;
+    if delivered[source as usize] {
+        depth[source as usize] = Some(0);
+        queue.push_back(source);
+    }
+    while let Some(u) = queue.pop_front() {
+        let d = depth[u as usize].expect("queued nodes have depth");
+        for &v in &adjacency[u as usize] {
+            if delivered[v as usize] && depth[v as usize].is_none() {
+                depth[v as usize] = Some(d + 1);
+                max_depth = max_depth.max(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    max_depth
+}
+
+/// Runs one live broadcast over `transport`.
+pub(crate) fn run_execution<T: Transport>(
+    transport: &T,
+    p: &ExecParams<'_>,
+    exec_seed: u64,
+) -> Result<ExecOutcome, ModelError>
+where
+    T::Endpoint: 'static,
+{
+    let layout = failure_layout(p.n, p.source, p.failure, exec_seed);
+    let nonfailed = layout.counted.iter().filter(|&&c| c).count();
+    if !layout.alive[p.source as usize] {
+        // The source itself is scheduled dead at start: nothing spreads.
+        return Ok(ExecOutcome {
+            nonfailed,
+            nonfailed_reached: 0,
+            messages_sent: 0,
+            messages_lost: 0,
+            depth: 0,
+            timed_out: false,
+        });
+    }
+
+    let fabric = Fabric::new();
+    let mut endpoints = transport.open(p.n, &layout.alive, &fabric)?;
+
+    // Pair every alive member with its actor and inject at the source.
+    let mut pairs: Vec<(Actor, T::Endpoint)> = Vec::with_capacity(p.n);
+    for (id, slot) in endpoints.iter_mut().enumerate() {
+        if let Some(ep) = slot.take() {
+            pairs.push((
+                Actor::new(id as u32, p.n, exec_seed, layout.crash_at_ns[id]),
+                ep,
+            ));
+        }
+    }
+    {
+        let source_pair = pairs
+            .iter_mut()
+            .find(|(actor, _)| actor.id == p.source)
+            .expect("alive source has an endpoint");
+        let injected = source_pair
+            .1
+            .send(p.source, &WireMessage::injection(exec_seed, p.source));
+        debug_assert!(injected, "sending to the alive source cannot fail");
+    }
+
+    // Multiplex actors over the shard threads, round-robin so node ids
+    // spread evenly, and run to quiescence.
+    let shards = p.shards.clamp(1, pairs.len().max(1));
+    let mut groups: Vec<Vec<(Actor, T::Endpoint)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (i, pair) in pairs.into_iter().enumerate() {
+        groups[i % shards].push(pair);
+    }
+    let epoch = Instant::now();
+    let fabric_ref: &Arc<Fabric> = &fabric;
+    let actors: Vec<Actor> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| scope.spawn(move |_| shard_loop(group, p, fabric_ref, epoch)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    })
+    .expect("runtime scope");
+
+    // Assemble the outcome from the actors' own records.
+    let mut delivered = vec![false; p.n];
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); p.n];
+    let mut messages_sent = 1u64; // the injection
+    let mut messages_lost = 0u64;
+    for actor in &actors {
+        delivered[actor.id as usize] = actor.delivered;
+        for edge in &actor.edges {
+            messages_sent += 1;
+            if edge.lost {
+                messages_lost += 1;
+            } else {
+                adjacency[actor.id as usize].push(edge.to);
+            }
+        }
+    }
+    let nonfailed_reached = (0..p.n)
+        .filter(|&i| layout.counted[i] && delivered[i])
+        .count();
+    Ok(ExecOutcome {
+        nonfailed,
+        nonfailed_reached,
+        messages_sent,
+        messages_lost,
+        depth: bfs_depth(p.n, p.source, &delivered, &adjacency),
+        timed_out: fabric.timed_out(),
+    })
+}

@@ -1,0 +1,134 @@
+//! The pluggable transport layer: how gossip messages physically move
+//! between node actors, plus the in-flight accounting ([`Fabric`]) that
+//! detects quiescence of a broadcast.
+//!
+//! A [`Transport`] opens one [`Endpoint`] per *alive* member of the
+//! group; an endpoint can push a [`WireMessage`] toward any peer and
+//! poll its own inbox without blocking. Two implementations ship:
+//! [`ChannelTransport`](crate::ChannelTransport) (in-process mailboxes)
+//! and [`TcpTransport`](crate::TcpTransport) (line-delimited JSON over
+//! `std::net` loopback sockets).
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+use gossip_model::ModelError;
+
+use crate::wire::WireMessage;
+
+/// In-flight message accounting shared by every endpoint of one
+/// broadcast.
+///
+/// Every accepted send increments the counter *before* the message can
+/// possibly be received; every message is settled exactly once, *after*
+/// any relays it triggered have themselves been counted. The counter
+/// therefore reaches zero only at true quiescence — no message in
+/// flight anywhere and none that could still be produced — at which
+/// point `done` flips and every actor loop exits.
+#[derive(Debug, Default)]
+pub struct Fabric {
+    inflight: AtomicI64,
+    done: AtomicBool,
+    timed_out: AtomicBool,
+}
+
+impl Fabric {
+    /// A fresh fabric for one broadcast execution.
+    pub fn new() -> Arc<Fabric> {
+        Arc::new(Fabric::default())
+    }
+
+    /// Records a message handed to the transport (call before the
+    /// delivery attempt).
+    pub fn message_sent(&self) {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a previously-sent message as fully dealt with —
+    /// processed by its receiver (after its relays were counted) or
+    /// dropped by the transport. Flips `done` at zero.
+    pub fn message_settled(&self) {
+        if self.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.done.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// True once the broadcast has quiesced (or was aborted).
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    /// Aborts the broadcast (deadline watchdog): actors drain and exit.
+    pub fn abort(&self) {
+        self.timed_out.store(true, Ordering::SeqCst);
+        self.done.store(true, Ordering::SeqCst);
+    }
+
+    /// True when the broadcast ended by abort rather than quiescence.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out.load(Ordering::SeqCst)
+    }
+}
+
+/// One node's connection to the group.
+///
+/// `send` is fire-and-forget (gossip never acks); it reports `false`
+/// when the peer is unreachable — crashed at start, or its listener is
+/// gone — which the caller records as a lost message, exactly like loss
+/// in transit. `poll` never blocks; node actors are multiplexed over a
+/// bounded shard-thread pool, so a blocking receive would stall
+/// unrelated actors.
+pub trait Endpoint: Send {
+    /// Attempts to deliver `msg` to peer `to`. Returns `false` if the
+    /// peer is unreachable (the message is counted as lost).
+    fn send(&mut self, to: u32, msg: &WireMessage) -> bool;
+
+    /// Non-blocking poll of this node's inbox.
+    fn poll(&mut self) -> Option<WireMessage>;
+}
+
+/// A way of physically connecting `n` gossip members.
+pub trait Transport {
+    /// The per-node endpoint type.
+    type Endpoint: Endpoint + 'static;
+
+    /// Short stable name, e.g. `"channel"` or `"tcp"` — lands in
+    /// [`Report::transport`](gossip_model::scenario::Report::transport).
+    fn name(&self) -> &'static str;
+
+    /// Opens the group: one endpoint per alive member (`None` for
+    /// members crashed at start — sends to them fail, as they should).
+    fn open(
+        &self,
+        n: usize,
+        alive: &[bool],
+        fabric: &Arc<Fabric>,
+    ) -> Result<Vec<Option<Self::Endpoint>>, ModelError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_counts_to_done() {
+        let fabric = Fabric::new();
+        assert!(!fabric.is_done());
+        fabric.message_sent();
+        fabric.message_sent();
+        fabric.message_settled();
+        assert!(!fabric.is_done());
+        fabric.message_settled();
+        assert!(fabric.is_done());
+        assert!(!fabric.timed_out());
+    }
+
+    #[test]
+    fn abort_is_done_and_timed_out() {
+        let fabric = Fabric::new();
+        fabric.message_sent();
+        fabric.abort();
+        assert!(fabric.is_done());
+        assert!(fabric.timed_out());
+    }
+}

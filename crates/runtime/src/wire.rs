@@ -1,0 +1,61 @@
+//! The typed message that crosses a [`Transport`](crate::Transport).
+//!
+//! One broadcast moves exactly one kind of datum: a relay of the gossip
+//! payload. The struct is serde-derived so the TCP transport can frame
+//! it as one JSON object per line (maelstrom-style), and the channel
+//! transport can move it by value.
+
+use serde::{Deserialize, Serialize};
+
+/// One gossip relay on the wire.
+///
+/// The `arrival_virtual_ns` stamp is the runtime's *virtual clock*: the
+/// sender adds a seed-derived latency draw (per
+/// [`LatencySpec`](gossip_model::scenario::LatencySpec)) to the virtual
+/// time of the copy that triggered its own relay. Scheduled crashes are
+/// evaluated against this clock, and optional real-time pacing
+/// ([`RuntimeSpec`](gossip_model::scenario::RuntimeSpec)) sleeps until
+/// the scaled stamp before a node processes the message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireMessage {
+    /// Broadcast identifier (derived from the execution seed).
+    pub id: u64,
+    /// Sending node.
+    pub from: u32,
+    /// Relay depth: 0 for the injection at the source.
+    pub hop: u32,
+    /// Virtual arrival time at the destination, in nanoseconds since
+    /// injection.
+    pub arrival_virtual_ns: u64,
+}
+
+impl WireMessage {
+    /// The injection frame a broadcast starts from.
+    pub fn injection(id: u64, source: u32) -> Self {
+        WireMessage {
+            id,
+            from: source,
+            hop: 0,
+            arrival_virtual_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_roundtrip() {
+        let msg = WireMessage {
+            id: 0xF00D,
+            from: 7,
+            hop: 3,
+            arrival_virtual_ns: 12_500_000,
+        };
+        let line = serde::json::to_string(&msg).unwrap();
+        assert!(line.contains("\"hop\":3"));
+        let back: WireMessage = serde::json::from_str(&line).unwrap();
+        assert_eq!(back, msg);
+    }
+}

@@ -25,6 +25,15 @@ thread_local! {
     static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// True when the caller is already running on a `parallel_map` worker
+/// thread. Callers that spawn threads of their own (e.g. the live
+/// gossip runtime's node actors) use this to collapse nested
+/// parallelism to a single thread instead of oversubscribing the
+/// machine with workers² threads.
+pub fn in_parallel_worker() -> bool {
+    IN_PARALLEL_WORKER.with(Cell::get)
+}
+
 /// Number of worker threads to use: `available_parallelism`, capped by the
 /// job count so tiny jobs don't spawn idle threads.
 fn worker_count(jobs: usize) -> usize {

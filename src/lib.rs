@@ -1,7 +1,7 @@
 //! # gossip — the workspace facade
 //!
 //! One crate that answers the paper's question — *what does
-//! `Gossip(n, P, q)` deliver?* — through one declarative API and four
+//! `Gossip(n, P, q)` deliver?* — through one declarative API and five
 //! interchangeable evaluation layers:
 //!
 //! | backend | layer | crate |
@@ -10,6 +10,7 @@
 //! | [`GraphBackend`] | random-graph percolation | `gossip_rgraph` |
 //! | [`ProtocolBackend`] | Monte-Carlo protocol runs (§5) | `gossip_protocol` |
 //! | [`NetSimBackend`] | discrete-event network simulation | `gossip_protocol` |
+//! | [`RuntimeBackend`] | live actor-per-node execution (threads + transports) | `gossip_runtime` |
 //!
 //! ```
 //! use gossip::{all_backends, FanoutSpec, Scenario};
@@ -42,24 +43,28 @@ pub use gossip_model as model;
 pub use gossip_netsim as netsim;
 pub use gossip_protocol as protocol;
 pub use gossip_rgraph as rgraph;
+pub use gossip_runtime as runtime;
 pub use gossip_stats as stats;
 
 pub use gossip_model::scenario::{
     AnalyticBackend, Backend, FailureSpec, FanoutSpec, LatencySpec, MembershipSpec, ProtocolSpec,
-    Report, Scenario, SweepCell, SweepGrid,
+    Report, RuntimeSpec, Scenario, SweepCell, SweepGrid,
 };
 pub use gossip_model::{FanoutDistribution, Gossip, ModelError};
 pub use gossip_protocol::{NetSimBackend, ProtocolBackend};
 pub use gossip_rgraph::GraphBackend;
+pub use gossip_runtime::RuntimeBackend;
 
-/// All four evaluation layers, boxed, in fidelity order: analytic,
-/// graph, protocol, netsim.
+/// All five evaluation layers, boxed, in fidelity order: analytic,
+/// graph, protocol, netsim, runtime (live execution over the channel
+/// transport; use [`RuntimeBackend::tcp`] for real sockets).
 pub fn all_backends() -> Vec<Box<dyn Backend>> {
     vec![
         Box::new(AnalyticBackend),
         Box::new(GraphBackend),
         Box::new(ProtocolBackend),
         Box::new(NetSimBackend),
+        Box::new(RuntimeBackend::channel()),
     ]
 }
 
@@ -70,6 +75,9 @@ mod tests {
     #[test]
     fn backend_list_names() {
         let names: Vec<&str> = all_backends().iter().map(|b| b.name()).collect();
-        assert_eq!(names, ["analytic", "graph", "protocol", "netsim"]);
+        assert_eq!(
+            names,
+            ["analytic", "graph", "protocol", "netsim", "runtime"]
+        );
     }
 }

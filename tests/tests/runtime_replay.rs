@@ -1,0 +1,136 @@
+//! Determinism and serialization guarantees of the live runtime layer.
+//!
+//! The channel-transport runtime is *byte-deterministic* in the
+//! scenario seed even though executions race across real OS threads:
+//! every draw (fanout, targets, loss, latency, crash pattern) comes
+//! from seed-derived per-node streams, and the report's metrics are
+//! computed from the recorded relay graph rather than from arrival
+//! order. These tests pin that guarantee — same seed, byte-identical
+//! Report JSON — along with the sweep-nesting behaviour and the new
+//! runtime-specific Report fields' round-trip.
+
+use gossip::{
+    Backend, FanoutSpec, LatencySpec, ModelError, Report, RuntimeBackend, RuntimeSpec, Scenario,
+    SweepGrid,
+};
+
+/// A scenario leaning on every seed-driven runtime feature at once:
+/// random failures, message loss, and a spread latency model.
+fn replay_scenario() -> Scenario {
+    Scenario::new(300, FanoutSpec::poisson(5.0))
+        .with_failure_ratio(0.85)
+        .with_loss(0.1)
+        .with_latency(LatencySpec::UniformMillis { lo_ms: 1, hi_ms: 9 })
+        .with_replications(10)
+        .with_seed(0x5EED)
+}
+
+#[test]
+fn same_seed_replays_to_byte_identical_report_json() {
+    let scenario = replay_scenario();
+    let first = RuntimeBackend::channel().evaluate(&scenario).unwrap();
+    let second = RuntimeBackend::channel().evaluate(&scenario).unwrap();
+    let a = serde::json::to_string(&first).unwrap();
+    let b = serde::json::to_string(&second).unwrap();
+    assert_eq!(a, b, "live runs with one seed must replay byte-for-byte");
+
+    // And the seed genuinely steers the execution.
+    let other = RuntimeBackend::channel()
+        .evaluate(&scenario.clone().with_seed(0xFEED))
+        .unwrap();
+    assert_ne!(
+        first.reliability, other.reliability,
+        "a different seed must change the measured outcome (a.s.)"
+    );
+}
+
+#[test]
+fn shard_width_does_not_change_results() {
+    // 1 shard vs many shards: different interleavings, same bytes —
+    // the determinism is architectural, not accidental.
+    let narrow = RuntimeBackend::channel()
+        .evaluate(&replay_scenario().with_runtime(RuntimeSpec {
+            max_threads: 1,
+            pacing_micros_per_milli: 0,
+        }))
+        .unwrap();
+    let wide = RuntimeBackend::channel()
+        .evaluate(&replay_scenario().with_runtime(RuntimeSpec {
+            max_threads: 32,
+            pacing_micros_per_milli: 0,
+        }))
+        .unwrap();
+    assert_eq!(
+        serde::json::to_string(&narrow).unwrap(),
+        serde::json::to_string(&wide).unwrap(),
+        "shard width is a performance knob, not a semantic one"
+    );
+}
+
+#[test]
+fn runtime_inside_a_sweep_matches_direct_evaluation() {
+    // SweepGrid fans cells over worker threads; a runtime run inside a
+    // worker collapses to one shard (the workers² guard). The reports
+    // must still match a direct top-level evaluation cell for cell.
+    let grid = SweepGrid::new(
+        Scenario::new(200, FanoutSpec::poisson(6.0))
+            .with_replications(4)
+            .with_seed(0x6121),
+    )
+    .over_failure_ratios(&[0.6, 0.9]);
+    let cells = grid.run(&RuntimeBackend::channel());
+    assert_eq!(cells.len(), 2);
+    for cell in &cells {
+        let swept = cell.report.as_ref().expect("cell evaluates");
+        let direct = RuntimeBackend::channel().evaluate(&cell.scenario).unwrap();
+        assert_eq!(
+            serde::json::to_string(swept).unwrap(),
+            serde::json::to_string(&direct).unwrap(),
+            "sweep nesting must not change runtime results"
+        );
+    }
+}
+
+#[test]
+fn runtime_report_fields_roundtrip_losslessly() {
+    let report = RuntimeBackend::channel()
+        .evaluate(&replay_scenario())
+        .unwrap();
+    assert_eq!(report.transport.as_deref(), Some("channel"));
+    assert!(report.messages_lost.unwrap() > 0.0, "loss = 0.1 must bite");
+    assert_eq!(report.quiescence_secs, None, "wall-clock stays out");
+
+    let text = serde::json::to_string(&report).unwrap();
+    assert!(text.contains("\"transport\":\"channel\""));
+    assert!(text.contains("\"messages_lost\":"));
+    let back: Report = serde::json::from_str(&text).unwrap();
+    assert_eq!(back, report, "runtime Report JSON must be lossless");
+}
+
+#[test]
+fn runtime_knob_validation_fails_fast() {
+    // Bad runtime knobs die in Scenario::validate, before any thread
+    // spawns or socket binds.
+    let oversubscribed = replay_scenario().with_runtime(RuntimeSpec {
+        max_threads: 100_000,
+        pacing_micros_per_milli: 0,
+    });
+    assert!(matches!(
+        RuntimeBackend::channel().evaluate(&oversubscribed),
+        Err(ModelError::InvalidParameter {
+            name: "max_threads",
+            ..
+        })
+    ));
+    let overpaced = replay_scenario().with_runtime(RuntimeSpec {
+        max_threads: 0,
+        pacing_micros_per_milli: 9999,
+    });
+    assert!(matches!(
+        RuntimeBackend::tcp().evaluate(&overpaced),
+        Err(ModelError::InvalidParameter {
+            name: "pacing_micros_per_milli",
+            ..
+        })
+    ));
+}

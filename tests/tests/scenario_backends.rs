@@ -1,10 +1,12 @@
 //! The acceptance tests of the unified scenario API:
 //!
-//! 1. One [`Scenario`] value, evaluated by all four [`Backend`] impls,
-//!    yields reports whose reliabilities agree within Monte-Carlo
-//!    tolerance — on the paper's Fig. 4 operating points (Poisson
-//!    fanout, n = 1000, q ∈ {0.5, 0.7, 0.9}) and on a (z, q) grid
-//!    straddling the critical point `q_c = 1/z`.
+//! 1. One [`Scenario`] value, evaluated by all five [`Backend`] impls —
+//!    analytic, graph, protocol, netsim, and the live actor-per-node
+//!    runtime — yields reports whose reliabilities agree within
+//!    Monte-Carlo tolerance: on the paper's Fig. 4 operating points
+//!    (Poisson fanout, n = 1000, q ∈ {0.5, 0.7, 0.9}), on a (z, q)
+//!    grid straddling the critical point `q_c = 1/z`, and (for the
+//!    runtime) over real loopback TCP sockets.
 //! 2. `Scenario` round-trips through serde (JSON text).
 
 use gossip::{
@@ -33,7 +35,7 @@ fn assert_backends_agree(scenario: &Scenario, tol: f64) {
 }
 
 #[test]
-fn fig4_operating_points_agree_across_all_four_backends() {
+fn fig4_operating_points_agree_across_all_five_backends() {
     // The ISSUE acceptance grid: Poisson fanout, n = 1000,
     // q ∈ {0.5, 0.7, 0.9}. Mean fanout 6 keeps every point clearly
     // supercritical (q_c = 1/6) at Monte-Carlo-resolvable reliability.
@@ -44,6 +46,31 @@ fn fig4_operating_points_agree_across_all_four_backends() {
             .with_seed(0xF164);
         assert_backends_agree(&scenario, 0.03);
     }
+}
+
+#[test]
+fn fig4_headline_point_agrees_over_real_tcp_sockets() {
+    // The live runtime once more, this time over genuine loopback TCP
+    // with line-delimited JSON frames. One listener per member bounds
+    // n; relays race through the kernel, so allow a little extra
+    // Monte-Carlo slack on top of the finite-size effect at n = 256.
+    let scenario = Scenario::new(256, FanoutSpec::poisson(6.0))
+        .with_failure_ratio(0.9)
+        .with_replications(8)
+        .with_seed(0xF164);
+    let analytic = AnalyticBackend
+        .evaluate(&scenario)
+        .expect("analytic prices");
+    let live = gossip::RuntimeBackend::tcp()
+        .evaluate(&scenario)
+        .expect("tcp runtime evaluates");
+    assert_eq!(live.transport.as_deref(), Some("tcp"));
+    assert_close(
+        live.reliability,
+        analytic.reliability,
+        0.06,
+        "runtime-tcp vs analytic on the Fig. 4 headline point",
+    );
 }
 
 #[test]
@@ -141,7 +168,8 @@ fn scenario_serde_roundtrip() {
 
 #[test]
 fn unsupported_combinations_error_cleanly() {
-    // A scheduled-crash scenario: only netsim runs it; the untimed
+    // A scheduled-crash scenario: only the timed layers (netsim and
+    // the live runtime, via its virtual clock) run it; the untimed
     // layers must say so rather than silently mis-evaluate.
     let scheduled = Scenario::new(500, FanoutSpec::poisson(6.0))
         .with_failure(FailureSpec::Schedule { crashes: vec![] })
@@ -156,5 +184,8 @@ fn unsupported_combinations_error_cleanly() {
             Err(other) => panic!("unexpected error: {other}"),
         }
     }
-    assert_eq!(supported, 1, "exactly netsim supports crash schedules");
+    assert_eq!(
+        supported, 2,
+        "exactly netsim and runtime support crash schedules"
+    );
 }
