@@ -129,6 +129,7 @@ pub use distribution::{
     MixtureFanout, PoissonFanout, PowerLawFanout, UniformFanout,
 };
 pub use error::ModelError;
+pub use gossip_topology::{OverlaySpec, PeerSelection, TopologySpec};
 pub use model::Gossip;
 pub use percolation::SitePercolation;
 pub use scenario::{

@@ -60,6 +60,7 @@ use crate::percolation::SitePercolation;
 use crate::success;
 use gossip_stats::parallel::parallel_map;
 use gossip_stats::rng::SplitMix64;
+use gossip_topology::{TopologyError, TopologySpec};
 
 /// Data description of a fanout distribution `P` — every family the
 /// model supports, including recursive mixtures, as plain data that can
@@ -404,6 +405,10 @@ pub struct Scenario {
     pub latency: LatencySpec,
     /// Membership service (default: full view, the paper's assumption).
     pub membership: MembershipSpec,
+    /// Overlay topology and peer-selection policy (default: complete
+    /// overlay with uniform global selection — the paper's model; every
+    /// backend treats the default as "no structured topology").
+    pub topology: TopologySpec,
     /// Protocol variant (default: the paper's push).
     pub protocol: ProtocolSpec,
     /// Live-runtime execution knobs (thread cap, latency pacing).
@@ -429,6 +434,7 @@ impl Scenario {
             loss: 0.0,
             latency: LatencySpec::default(),
             membership: MembershipSpec::Full,
+            topology: TopologySpec::default(),
             protocol: ProtocolSpec::Push,
             runtime: RuntimeSpec::default(),
             replications: 20,
@@ -467,6 +473,12 @@ impl Scenario {
         self
     }
 
+    /// Sets the overlay topology and peer-selection policy.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// Sets the protocol variant.
     pub fn with_protocol(mut self, protocol: ProtocolSpec) -> Self {
         self.protocol = protocol;
@@ -500,6 +512,17 @@ impl Scenario {
     /// The effective nonfailed ratio, if the failure model has one.
     pub fn q(&self) -> Option<f64> {
         self.failure.ratio()
+    }
+
+    /// The topology label backends put in [`Report::topology`]: `None`
+    /// for the paper's default (complete overlay, uniform selection),
+    /// `Some(label)` for structured overlays.
+    pub fn topology_label(&self) -> Option<String> {
+        if self.topology.is_default() {
+            None
+        } else {
+            Some(self.topology.label())
+        }
     }
 
     /// Checks every parameter domain; backends call this first.
@@ -550,6 +573,21 @@ impl Scenario {
                 requirement: "message loss probability must lie in [0, 1)",
             });
         }
+        // Topology parameters are validated by the topology crate; its
+        // error type is field-compatible with `InvalidParameter`, so the
+        // mapping is lossless.
+        if let Err(TopologyError {
+            name,
+            value,
+            requirement,
+        }) = self.topology.validate(self.n)
+        {
+            return Err(ModelError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            });
+        }
         if self.replications == 0 {
             return Err(ModelError::InvalidParameter {
                 name: "replications",
@@ -589,6 +627,9 @@ impl Scenario {
         }
         if let MembershipSpec::Scamp { c } = self.membership {
             label.push_str(&format!(" scamp(c={c})"));
+        }
+        if let Some(topology) = self.topology_label() {
+            label.push_str(&format!(" {topology}"));
         }
         match self.protocol {
             ProtocolSpec::Push => {}
@@ -639,6 +680,10 @@ pub struct Report {
     /// Transport the live runtime backend moved messages over
     /// (`"channel"` or `"tcp"`); `None` for every model layer.
     pub transport: Option<String>,
+    /// Overlay topology and peer-selection policy the scenario gossiped
+    /// over, e.g. `"ring(s=2000)/neigh"`; `None` for the paper's
+    /// default (complete overlay, uniform selection).
+    pub topology: Option<String>,
     /// Mean messages lost in transit per execution — injected loss plus
     /// sends to crashed peers (live runtime backend only).
     pub messages_lost: Option<f64>,
@@ -705,6 +750,13 @@ impl Backend for AnalyticBackend {
                 what: "partial-view membership (the model assumes uniform target selection)",
             });
         }
+        if !scenario.topology.is_default() {
+            return Err(ModelError::Unsupported {
+                backend: "analytic",
+                what:
+                    "structured overlays (the generating-function model assumes the complete graph)",
+            });
+        }
         let dist = scenario.fanout.build()?;
         let reliability = match scenario.protocol {
             // Site + bond percolation; loss = 0 reduces to the paper's
@@ -752,6 +804,7 @@ impl Backend for AnalyticBackend {
             messages_per_member,
             quiescence_secs: None,
             transport: None,
+            topology: None,
             messages_lost: None,
             success_within_t: success::success_probability(reliability, scenario.executions),
         })
@@ -1021,6 +1074,76 @@ mod tests {
             inverted.validate(),
             Err(ModelError::InvalidParameter { name: "lo_ms", .. })
         ));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_topologies() {
+        use gossip_topology::OverlaySpec;
+        // k >= n.
+        let fat = Scenario::new(50, FanoutSpec::poisson(4.0))
+            .with_topology(TopologySpec::new(OverlaySpec::KRegular { k: 50 }));
+        assert!(matches!(
+            fat.validate(),
+            Err(ModelError::InvalidParameter { name: "k", .. })
+        ));
+        // beta outside [0, 1].
+        let skewed = Scenario::new(100, FanoutSpec::poisson(4.0)).with_topology(TopologySpec::new(
+            OverlaySpec::WattsStrogatz { k: 4, beta: 1.5 },
+        ));
+        assert!(matches!(
+            skewed.validate(),
+            Err(ModelError::InvalidParameter { name: "beta", .. })
+        ));
+        // Zero zones.
+        let zoneless = Scenario::new(100, FanoutSpec::poisson(4.0)).with_topology(
+            TopologySpec::new(OverlaySpec::Clustered {
+                zones: 0,
+                intra: 2,
+                inter: 1,
+            }),
+        );
+        assert!(matches!(
+            zoneless.validate(),
+            Err(ModelError::InvalidParameter { name: "zones", .. })
+        ));
+        // Odd degree sum in the configuration-model family.
+        let odd = Scenario::new(51, FanoutSpec::poisson(4.0))
+            .with_topology(TopologySpec::new(OverlaySpec::KRegular { k: 3 }));
+        assert!(matches!(
+            odd.validate(),
+            Err(ModelError::InvalidParameter { name: "k", .. })
+        ));
+        // A well-formed structured topology passes.
+        let fine = Scenario::new(100, FanoutSpec::poisson(4.0))
+            .with_topology(TopologySpec::new(OverlaySpec::Ring { shortcuts: 40 }));
+        assert!(fine.validate().is_ok());
+    }
+
+    #[test]
+    fn analytic_rejects_structured_topology() {
+        use gossip_topology::OverlaySpec;
+        let structured =
+            headline().with_topology(TopologySpec::new(OverlaySpec::Ring { shortcuts: 100 }));
+        assert!(matches!(
+            AnalyticBackend.evaluate(&structured),
+            Err(ModelError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn scenario_label_mentions_topology() {
+        use gossip_topology::OverlaySpec;
+        assert!(!headline().label().contains("complete"));
+        let structured = headline().with_topology(TopologySpec::new(OverlaySpec::WattsStrogatz {
+            k: 8,
+            beta: 0.2,
+        }));
+        assert!(structured.label().contains("ws(k=8,beta=0.2)/neigh"));
+        assert_eq!(
+            structured.topology_label().as_deref(),
+            Some("ws(k=8,beta=0.2)/neigh")
+        );
+        assert_eq!(headline().topology_label(), None);
     }
 
     #[test]

@@ -11,11 +11,16 @@
 //!   subscription walk, with expected view size `(c+1)·ln n`. Used by the
 //!   membership-ablation experiment (E10) to show the analysis survives
 //!   realistic partial views.
+//! * [`overlay::OverlayView`] — views pinned to the neighbour lists of a
+//!   structured overlay (`gossip-topology`), with targets picked by the
+//!   overlay's peer-selection policy.
 
 pub mod full;
+pub mod overlay;
 pub mod scamp;
 
 pub use full::FullView;
+pub use overlay::OverlayView;
 pub use scamp::ScampViews;
 
 use gossip_stats::rng::Xoshiro256StarStar;
@@ -31,8 +36,10 @@ pub trait Membership: Send + Sync {
     fn view_size(&self, node: NodeId) -> usize;
 
     /// Appends up to `k` distinct members of `node`'s view (never `node`
-    /// itself) to `out`, chosen uniformly at random. Appends fewer than
-    /// `k` only when the view is smaller than `k`.
+    /// itself) to `out` — uniformly at random for the full and SCAMP
+    /// views, by the configured peer-selection policy for overlay views.
+    /// Appends fewer than `k` only when the view is smaller than `k` (or
+    /// a deterministic policy exhausts its distinct picks).
     fn sample_targets(
         &self,
         node: NodeId,

@@ -56,11 +56,29 @@ fn latency_model(spec: LatencySpec) -> LatencyModel {
     }
 }
 
-fn membership_kind(spec: MembershipSpec) -> MembershipKind {
-    match spec {
-        MembershipSpec::Full => MembershipKind::Full,
-        MembershipSpec::Scamp { c } => MembershipKind::Scamp { c },
+/// Resolves the scenario's membership + topology pair into the engine's
+/// [`MembershipKind`]. A structured overlay *is* a membership constraint
+/// (views are neighbour lists), so combining it with SCAMP partial views
+/// is contradictory and rejected.
+fn membership_kind(
+    backend: &'static str,
+    scenario: &Scenario,
+) -> Result<MembershipKind, ModelError> {
+    if scenario.topology.is_default() {
+        return Ok(match scenario.membership {
+            MembershipSpec::Full => MembershipKind::Full,
+            MembershipSpec::Scamp { c } => MembershipKind::Scamp { c },
+        });
     }
+    if scenario.membership != MembershipSpec::Full {
+        return Err(ModelError::Unsupported {
+            backend,
+            what: "structured overlays combined with partial-view membership (views are already the overlay's neighbour lists)",
+        });
+    }
+    Ok(MembershipKind::Overlay {
+        spec: scenario.topology,
+    })
 }
 
 fn failure_plan(scenario: &Scenario, source: u32) -> FailurePlan {
@@ -220,6 +238,7 @@ fn evaluate_monte_carlo(
             None
         },
         transport: None,
+        topology: scenario.topology_label(),
         messages_lost: None,
         success_within_t: success::success_probability(reliability, scenario.executions),
     })
@@ -259,7 +278,7 @@ impl Backend for ProtocolBackend {
             }
         };
         let cfg = ExecutionConfig::new(scenario.n, q)
-            .with_membership(membership_kind(scenario.membership));
+            .with_membership(membership_kind(self.name(), scenario)?);
         evaluate_monte_carlo(self.name(), scenario, &cfg, false)
     }
 }
@@ -284,7 +303,7 @@ impl Backend for NetSimBackend {
             loss_probability: scenario.loss,
         };
         let cfg = ExecutionConfig::new(scenario.n, q)
-            .with_membership(membership_kind(scenario.membership))
+            .with_membership(membership_kind(self.name(), scenario)?)
             .with_network(network);
         evaluate_monte_carlo(self.name(), scenario, &cfg, true)
     }
@@ -400,5 +419,44 @@ mod tests {
         let scenario = headline(10).with_membership(MembershipSpec::Scamp { c: 2 });
         let report = ProtocolBackend.evaluate(&scenario).unwrap();
         assert!(report.reliability > 0.5, "scamp r = {}", report.reliability);
+    }
+
+    #[test]
+    fn structured_topology_supported_and_labelled() {
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        let scenario = headline(10).with_topology(TopologySpec::new(OverlaySpec::WattsStrogatz {
+            k: 12,
+            beta: 0.5,
+        }));
+        let report = ProtocolBackend.evaluate(&scenario).unwrap();
+        assert!(
+            report.reliability > 0.5,
+            "dense small world r = {}",
+            report.reliability
+        );
+        assert_eq!(
+            report.topology.as_deref(),
+            Some("ws(k=12,beta=0.5)/neigh"),
+            "report must carry the topology label"
+        );
+        // Default topologies report None.
+        let plain = ProtocolBackend.evaluate(&headline(5)).unwrap();
+        assert_eq!(plain.topology, None);
+    }
+
+    #[test]
+    fn overlay_plus_scamp_is_contradictory() {
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        let scenario = headline(5)
+            .with_membership(MembershipSpec::Scamp { c: 2 })
+            .with_topology(TopologySpec::new(OverlaySpec::Ring { shortcuts: 2000 }));
+        assert!(matches!(
+            ProtocolBackend.evaluate(&scenario),
+            Err(ModelError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            NetSimBackend.evaluate(&scenario),
+            Err(ModelError::Unsupported { .. })
+        ));
     }
 }

@@ -10,16 +10,26 @@
 //! graph — the paper's reliability `R(q, P)` (Eq. 4/11) without any
 //! protocol dynamics.
 
+use gossip_model::distribution::FanoutDistribution;
+use gossip_model::loss::LossyGossip;
 use gossip_model::percolation::SitePercolation;
 use gossip_model::scenario::{Backend, MembershipSpec, ProtocolSpec, Report, Scenario};
 use gossip_model::{success, ModelError};
 use gossip_stats::descriptive::OnlineStats;
 use gossip_stats::parallel::parallel_map;
 use gossip_stats::rng::{SplitMix64, Xoshiro256StarStar};
+use gossip_topology::select_targets;
 
 use crate::configuration::ConfigurationModel;
+use crate::digraph::Digraph;
 use crate::graph::Graph;
 use crate::percolation_sim::percolate;
+use crate::reach::reach_from;
+
+/// Seed-stream tags for the structured-overlay path (the default path
+/// keeps its historical 0x6A/0x9C streams untouched).
+const TOPOLOGY_STREAM: u64 = 0x70;
+const RELAY_STREAM: u64 = 0xD1;
 
 /// Keeps each edge independently with probability `1 − loss` — bond
 /// percolation, the graph-level model of message loss.
@@ -57,6 +67,9 @@ impl Backend for GraphBackend {
             });
         }
         let dist = scenario.fanout.build()?;
+        if !scenario.topology.is_default() {
+            return evaluate_structured(scenario, q, &*dist);
+        }
 
         let reliabilities: Vec<f64> = parallel_map(scenario.replications, |rep| {
             let seed = SplitMix64::derive(scenario.seed, rep as u64);
@@ -93,10 +106,104 @@ impl Backend for GraphBackend {
             messages_per_member: None,
             quiescence_secs: None,
             transport: None,
+            topology: None,
             messages_lost: None,
             success_within_t: success::success_probability(reliability, scenario.executions),
         })
     }
+}
+
+/// The structured-overlay path: the Fig. 1 relay digraph is realized on
+/// the overlay's neighbour lists instead of the complete graph — each
+/// member draws `F ~ P` and picks that many targets with the scenario's
+/// peer-selection policy — then bond percolation (loss), site
+/// percolation (crashes, source immune), and directed reach run as
+/// usual. Unlike the undirected census of the default path, this has a
+/// source and therefore a take-off/fizzle split; conditioning uses the
+/// same complete-graph analytic threshold as the protocol backends so
+/// reliabilities stay comparable across layers.
+fn evaluate_structured(
+    scenario: &Scenario,
+    q: f64,
+    dist: &dyn FanoutDistribution,
+) -> Result<Report, ModelError> {
+    let spec = scenario.topology;
+    let n = scenario.n;
+    let outcomes: Vec<(f64, f64)> = parallel_map(scenario.replications, |rep| {
+        let seed = SplitMix64::derive(scenario.seed, rep as u64);
+        let overlay = spec.build(n, SplitMix64::derive(seed, TOPOLOGY_STREAM));
+        let mut rng = Xoshiro256StarStar::new(SplitMix64::derive(seed, RELAY_STREAM));
+        let mut arcs: Vec<(u32, u32)> = Vec::new();
+        let mut targets = Vec::new();
+        for v in 0..n as u32 {
+            let fanout = dist.sample(&mut rng);
+            select_targets(&overlay, spec.selection, v, fanout, &mut rng, &mut targets);
+            for &t in &targets {
+                if scenario.loss == 0.0 || !rng.next_bool(scenario.loss) {
+                    arcs.push((v, t));
+                }
+            }
+        }
+        let digraph = Digraph::from_edges(n, &arcs);
+        let mut failed = vec![false; n];
+        for slot in failed.iter_mut().skip(1) {
+            *slot = !rng.next_bool(q);
+        }
+        let out = reach_from(&digraph, &failed, 0);
+        let messages = out.messages_sent as f64 / out.nonfailed_total.max(1) as f64;
+        (out.reliability(), messages)
+    });
+
+    // Take-off threshold: half the complete-graph analytic prediction
+    // (0 when subcritical) — the protocol/netsim/runtime convention.
+    let prediction = LossyGossip::new(dist, q, scenario.loss)
+        .and_then(|m| m.reliability())
+        .unwrap_or(1.0);
+    let threshold = if prediction < 0.05 {
+        0.0
+    } else {
+        0.5 * prediction
+    };
+    let mut conditional = OnlineStats::new();
+    let mut raw = OnlineStats::new();
+    let mut messages = OnlineStats::new();
+    let mut takeoffs = 0usize;
+    for &(r, m) in &outcomes {
+        raw.push(r);
+        messages.push(m);
+        if r > threshold {
+            takeoffs += 1;
+            conditional.push(r);
+        }
+    }
+    let reliability = if conditional.count() == 0 {
+        0.0
+    } else {
+        conditional.mean()
+    };
+    let ci = conditional.ci95();
+    let critical_q = SitePercolation::new(dist, 1.0)?.critical_q();
+    Ok(Report {
+        backend: "graph".to_string(),
+        scenario: scenario.label(),
+        replications: outcomes.len(),
+        reliability,
+        reliability_std_error: conditional.sem(),
+        reliability_ci95: (ci.lo, ci.hi),
+        reliability_raw: Some(raw.mean()),
+        // Still the complete-graph Eq. 3 prediction: the overlay shifts
+        // the *measured* q_c away from it, which is the point of the
+        // topology ablation.
+        critical_q,
+        takeoff_rate: Some(takeoffs as f64 / outcomes.len() as f64),
+        rounds: None,
+        messages_per_member: Some(messages.mean()),
+        quiescence_secs: None,
+        transport: None,
+        topology: scenario.topology_label(),
+        messages_lost: None,
+        success_within_t: success::success_probability(reliability, scenario.executions),
+    })
 }
 
 #[cfg(test)]
@@ -175,5 +282,66 @@ mod tests {
         let a = GraphBackend.evaluate(&headline(2000, 5)).unwrap();
         let b = GraphBackend.evaluate(&headline(2000, 5)).unwrap();
         assert_eq!(a.reliability, b.reliability);
+    }
+
+    #[test]
+    fn structured_dense_overlay_approaches_complete() {
+        use gossip_topology::OverlaySpec;
+        use gossip_topology::TopologySpec;
+        // A dense Watts-Strogatz overlay (k = 16, plenty of shortcuts)
+        // at a mild operating point behaves like the complete graph.
+        let base = Scenario::new(2000, FanoutSpec::poisson(5.0))
+            .with_failure_ratio(0.95)
+            .with_replications(12);
+        let complete = GraphBackend.evaluate(&base).unwrap();
+        let structured =
+            GraphBackend
+                .evaluate(&base.clone().with_topology(TopologySpec::new(
+                    OverlaySpec::WattsStrogatz { k: 16, beta: 0.5 },
+                )))
+                .unwrap();
+        assert!(
+            (structured.reliability - complete.reliability).abs() < 0.08,
+            "ws {} vs complete {}",
+            structured.reliability,
+            complete.reliability
+        );
+        assert_eq!(
+            structured.topology.as_deref(),
+            Some("ws(k=16,beta=0.5)/neigh")
+        );
+        assert!(structured.takeoff_rate.is_some());
+        assert!(structured.messages_per_member.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn structured_lattice_never_percolates() {
+        use gossip_topology::OverlaySpec;
+        use gossip_topology::TopologySpec;
+        // A 1D circulant is a long thin lattice: any crash density cuts
+        // the line, so reach collapses even at q where the complete
+        // graph delivers > 0.95.
+        let scenario = Scenario::new(2000, FanoutSpec::poisson(4.0))
+            .with_failure_ratio(0.9)
+            .with_replications(8)
+            .with_topology(TopologySpec::new(OverlaySpec::KRegular { k: 4 }));
+        let lattice = GraphBackend.evaluate(&scenario).unwrap();
+        assert!(
+            lattice.reliability_raw.unwrap() < 0.2,
+            "lattice raw reliability {} should collapse",
+            lattice.reliability_raw.unwrap()
+        );
+    }
+
+    #[test]
+    fn structured_path_is_deterministic() {
+        use gossip_topology::OverlaySpec;
+        use gossip_topology::TopologySpec;
+        let scenario = headline(1000, 5)
+            .with_topology(TopologySpec::new(OverlaySpec::Ring { shortcuts: 2000 }));
+        let a = GraphBackend.evaluate(&scenario).unwrap();
+        let b = GraphBackend.evaluate(&scenario).unwrap();
+        assert_eq!(a.reliability, b.reliability);
+        assert_eq!(a.reliability_raw, b.reliability_raw);
     }
 }

@@ -138,6 +138,11 @@ fn evaluate_over<T: Transport>(
         loss: scenario.loss,
         latency: scenario.latency,
         failure: &scenario.failure,
+        topology: if scenario.topology.is_default() {
+            None
+        } else {
+            Some(&scenario.topology)
+        },
         flood: scenario.protocol == ProtocolSpec::Flood,
         shards,
         pacing_micros_per_milli: scenario.runtime.pacing_micros_per_milli,
@@ -220,6 +225,7 @@ fn evaluate_over<T: Transport>(
         // it out of the Report so runtime reports replay byte-for-byte.
         quiescence_secs: None,
         transport: Some(transport.name().to_string()),
+        topology: scenario.topology_label(),
         messages_lost: Some(lost.mean()),
         success_within_t: success::success_probability(reliability, scenario.executions),
     })
@@ -334,6 +340,42 @@ mod tests {
         assert!(RuntimeBackend::channel()
             .evaluate(&headline(2000, 1))
             .is_ok());
+    }
+
+    #[test]
+    fn structured_overlay_gossips_on_channel() {
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        // Dense small world at a supercritical point: the live protocol
+        // should still take off, and the report should say which
+        // overlay it ran on.
+        let scenario =
+            headline(400, 6).with_topology(TopologySpec::new(OverlaySpec::WattsStrogatz {
+                k: 10,
+                beta: 0.3,
+            }));
+        let live = RuntimeBackend::channel().evaluate(&scenario).unwrap();
+        assert_eq!(live.topology.as_deref(), Some("ws(k=10,beta=0.3)/neigh"));
+        assert!(live.reliability > 0.5, "overlay r = {}", live.reliability);
+        // The baseline scenario keeps the label empty.
+        let plain = RuntimeBackend::channel()
+            .evaluate(&headline(200, 2))
+            .unwrap();
+        assert_eq!(plain.topology, None);
+    }
+
+    #[test]
+    fn structured_overlay_gossips_on_tcp() {
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        // No failures: flooding the (always connected) ring overlay must
+        // reach everyone, even though each relay only hits neighbours.
+        let scenario = Scenario::new(96, FanoutSpec::poisson(6.0))
+            .with_replications(2)
+            .with_topology(TopologySpec::new(OverlaySpec::Ring { shortcuts: 96 }))
+            .with_protocol(ProtocolSpec::Flood);
+        let live = RuntimeBackend::tcp().evaluate(&scenario).unwrap();
+        assert_eq!(live.transport.as_deref(), Some("tcp"));
+        assert_eq!(live.topology.as_deref(), Some("ring(s=96)/neigh"));
+        assert_eq!(live.reliability, 1.0);
     }
 
     #[test]

@@ -30,14 +30,23 @@ use gossip_model::distribution::FanoutDistribution;
 use gossip_model::scenario::{FailureSpec, LatencySpec};
 use gossip_model::ModelError;
 use gossip_stats::rng::{SplitMix64, Xoshiro256StarStar};
+use gossip_topology::{select_targets, PeerSelection, Topology, TopologySpec};
 
 use crate::transport::{Endpoint, Fabric, Transport};
 use crate::wire::WireMessage;
 
 /// Seed-stream tags (mixed into `SplitMix64::derive`) so the failure
-/// pattern and per-node draws are decorrelated.
+/// pattern, the overlay wiring, and per-node draws are decorrelated.
 const FAILURE_STREAM: u64 = 0xFA11;
 const NODE_STREAM: u64 = 0x0A_C708; // "ACTOR"
+const TOPOLOGY_STREAM: u64 = 0x7090; // "TOPO"
+
+/// A structured overlay instantiated for one execution: actors gossip
+/// only along its edges, targets picked by the configured policy.
+struct Overlay {
+    topology: Topology,
+    selection: PeerSelection,
+}
 
 /// Everything one execution needs, borrowed from the backend.
 pub(crate) struct ExecParams<'a> {
@@ -53,7 +62,12 @@ pub(crate) struct ExecParams<'a> {
     pub latency: LatencySpec,
     /// Failure model.
     pub failure: &'a FailureSpec,
-    /// Flood instead of push: relay to every other member.
+    /// Structured overlay to gossip over (`None` = complete graph with
+    /// uniform selection, the paper's baseline). Rebuilt per execution
+    /// from the execution seed so overlays resample across replications.
+    pub topology: Option<&'a TopologySpec>,
+    /// Flood instead of push: relay to every other member (on an
+    /// overlay: to the whole neighbour list).
     pub flood: bool,
     /// Shard threads to multiplex node actors over.
     pub shards: usize,
@@ -139,9 +153,16 @@ impl Actor {
     }
 
     /// Fig. 1, live: on first receipt draw `f ~ P`, pick `f` distinct
-    /// uniform targets, relay; duplicates are discarded. Returns the
-    /// relays that survived sender-side loss injection.
-    fn handle(&mut self, msg: &WireMessage, p: &ExecParams<'_>) -> Vec<Relay> {
+    /// targets — uniform over the group on the complete graph, by the
+    /// peer-selection policy over the neighbour list on an overlay —
+    /// and relay; duplicates are discarded. Returns the relays that
+    /// survived sender-side loss injection.
+    fn handle(
+        &mut self,
+        msg: &WireMessage,
+        p: &ExecParams<'_>,
+        overlay: Option<&Overlay>,
+    ) -> Vec<Relay> {
         if let Some(crash_at) = self.crash_at_ns {
             if msg.arrival_virtual_ns >= crash_at {
                 return Vec::new(); // arrived at a crashed process
@@ -151,12 +172,30 @@ impl Actor {
             return Vec::new(); // duplicate receipt: discard (Fig. 1)
         }
         self.delivered = true;
-        let fanout = if p.flood {
-            self.n as usize - 1
-        } else {
-            p.dist.sample(&mut self.rng)
+        let targets = match overlay {
+            Some(ov) if p.flood => ov.topology.neighbors(self.id).to_vec(),
+            Some(ov) => {
+                let fanout = p.dist.sample(&mut self.rng);
+                let mut picks = Vec::new();
+                select_targets(
+                    &ov.topology,
+                    ov.selection,
+                    self.id,
+                    fanout,
+                    &mut self.rng,
+                    &mut picks,
+                );
+                picks
+            }
+            None => {
+                let fanout = if p.flood {
+                    self.n as usize - 1
+                } else {
+                    p.dist.sample(&mut self.rng)
+                };
+                self.pick_targets(fanout)
+            }
         };
-        let targets = self.pick_targets(fanout);
         let mut relays = Vec::with_capacity(targets.len());
         for to in targets {
             let lost = self.rng.next_f64() < p.loss;
@@ -271,9 +310,10 @@ fn process<E: Endpoint>(
     ep: &mut E,
     msg: &WireMessage,
     p: &ExecParams<'_>,
+    overlay: Option<&Overlay>,
     fabric: &Fabric,
 ) {
-    let relays = actor.handle(msg, p);
+    let relays = actor.handle(msg, p, overlay);
     for relay in relays {
         if !ep.send(relay.to, &relay.msg) {
             // Peer unreachable: the relay died in transit.
@@ -288,6 +328,7 @@ fn process<E: Endpoint>(
 fn shard_loop<E: Endpoint>(
     mut group: Vec<(Actor, E)>,
     p: &ExecParams<'_>,
+    overlay: Option<&Overlay>,
     fabric: &Fabric,
     epoch: Instant,
 ) -> Vec<Actor> {
@@ -306,7 +347,7 @@ fn shard_loop<E: Endpoint>(
                         continue;
                     }
                 }
-                process(actor, ep, &msg, p, fabric);
+                process(actor, ep, &msg, p, overlay, fabric);
                 progressed = true;
             }
         }
@@ -316,7 +357,7 @@ fn shard_loop<E: Endpoint>(
             if held[i].1 <= now {
                 let (idx, _, msg) = held.swap_remove(i);
                 let (actor, ep) = &mut group[idx];
-                process(actor, ep, &msg, p, fabric);
+                process(actor, ep, &msg, p, overlay, fabric);
                 progressed = true;
             } else {
                 i += 1;
@@ -368,6 +409,10 @@ pub(crate) fn run_execution<T: Transport>(
 where
     T::Endpoint: 'static,
 {
+    let overlay = p.topology.map(|spec| Overlay {
+        topology: spec.build(p.n, SplitMix64::derive(exec_seed, TOPOLOGY_STREAM)),
+        selection: spec.selection,
+    });
     let layout = failure_layout(p.n, p.source, p.failure, exec_seed);
     let nonfailed = layout.counted.iter().filter(|&&c| c).count();
     if !layout.alive[p.source as usize] {
@@ -415,10 +460,11 @@ where
     }
     let epoch = Instant::now();
     let fabric_ref: &Arc<Fabric> = &fabric;
+    let overlay_ref = overlay.as_ref();
     let actors: Vec<Actor> = crossbeam::scope(|scope| {
         let handles: Vec<_> = groups
             .into_iter()
-            .map(|group| scope.spawn(move |_| shard_loop(group, p, fabric_ref, epoch)))
+            .map(|group| scope.spawn(move |_| shard_loop(group, p, overlay_ref, fabric_ref, epoch)))
             .collect();
         handles
             .into_iter()

@@ -1,0 +1,69 @@
+//! Topology showdown: the paper's critical point `q_c = 1/E[f]` (Eq. 3)
+//! assumes the complete graph — any member can gossip to any other.
+//! This example pits that baseline against a clustered overlay (members
+//! grouped into zones, dense inside, a single inter-zone link each) and
+//! scans the failure axis with the graph backend to locate where each
+//! topology's broadcast starts percolating.
+//!
+//! The clustered overlay must need a strictly *higher* uptime `q` to
+//! take off: its inter-zone bottleneck is exactly the structure the
+//! mean-field analysis cannot see. The assertion at the bottom makes
+//! this example a regression test for that shift.
+//!
+//! ```sh
+//! cargo run --release --example topology_showdown
+//! ```
+
+use gossip::{Backend, FanoutSpec, GraphBackend, OverlaySpec, Scenario, TopologySpec};
+
+/// Unconditional-reliability floor marking "the broadcast percolates".
+const TAKEOFF_FLOOR: f64 = 0.2;
+
+/// First q on the grid where the overlay's raw reliability clears the
+/// floor (`None` = never takes off below q = 1).
+fn empirical_qc(base: &Scenario, spec: TopologySpec) -> Option<f64> {
+    for i in 1..=40 {
+        let q = i as f64 * 0.025;
+        let report = GraphBackend
+            .evaluate(&base.clone().with_failure_ratio(q).with_topology(spec))
+            .expect("graph backend evaluates");
+        if report.reliability_raw.expect("graph reports raw") >= TAKEOFF_FLOOR {
+            return Some(q);
+        }
+    }
+    None
+}
+
+fn main() {
+    // n = 1000, Po(4): the complete-graph prediction is q_c = 0.25.
+    let base = Scenario::new(1000, FanoutSpec::poisson(4.0))
+        .with_replications(20)
+        .with_seed(0x70_D0);
+
+    let complete = TopologySpec::default();
+    let clustered = TopologySpec::new(OverlaySpec::Clustered {
+        zones: 10,
+        intra: 5,
+        inter: 1,
+    });
+
+    let qc_complete = empirical_qc(&base, complete).expect("complete graph percolates");
+    let qc_clustered = empirical_qc(&base, clustered).expect("clustered overlay percolates");
+
+    println!("complete graph  : empirical q_c ≈ {qc_complete:.3} (Eq. 3 predicts 0.250)");
+    println!(
+        "{:<16}: empirical q_c ≈ {qc_clustered:.3}",
+        clustered.label()
+    );
+    println!(
+        "shift           : +{:.3} — the inter-zone bottleneck costs real uptime margin",
+        qc_clustered - qc_complete
+    );
+
+    assert!(
+        qc_clustered > qc_complete,
+        "clustered overlay must percolate later than the complete graph \
+         ({qc_clustered:.3} vs {qc_complete:.3})"
+    );
+    println!("\nzoned structure demands more uptime than the mean-field analysis admits.");
+}

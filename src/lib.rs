@@ -45,6 +45,7 @@ pub use gossip_protocol as protocol;
 pub use gossip_rgraph as rgraph;
 pub use gossip_runtime as runtime;
 pub use gossip_stats as stats;
+pub use gossip_topology as topology;
 
 pub use gossip_model::scenario::{
     AnalyticBackend, Backend, FailureSpec, FanoutSpec, LatencySpec, MembershipSpec, ProtocolSpec,
@@ -54,6 +55,7 @@ pub use gossip_model::{FanoutDistribution, Gossip, ModelError};
 pub use gossip_protocol::{NetSimBackend, ProtocolBackend};
 pub use gossip_rgraph::GraphBackend;
 pub use gossip_runtime::RuntimeBackend;
+pub use gossip_topology::{OverlaySpec, PeerSelection, TopologySpec};
 
 /// All five evaluation layers, boxed, in fidelity order: analytic,
 /// graph, protocol, netsim, runtime (live execution over the channel

@@ -11,7 +11,7 @@
 
 use gossip::{
     all_backends, AnalyticBackend, Backend, FailureSpec, FanoutSpec, LatencySpec, MembershipSpec,
-    ProtocolSpec, Report, Scenario, SweepGrid,
+    OverlaySpec, ProtocolSpec, Report, Scenario, SweepGrid, TopologySpec,
 };
 use gossip_integration_tests::assert_close;
 
@@ -117,6 +117,60 @@ fn poisson_grid_straddling_critical_point_agrees() {
 }
 
 #[test]
+fn structured_topologies_agree_across_supporting_backends() {
+    // Two structured operating points: a ring thickened with enough
+    // shortcuts to stay supercritical, and a Watts–Strogatz small
+    // world. Every layer that samples the overlay — graph percolation,
+    // the Monte-Carlo protocol, the discrete-event simulator, and the
+    // live runtime — must land on the same reliability; the analytic
+    // layer must decline with a typed error (its generating functions
+    // assume the complete graph).
+    for overlay in [
+        OverlaySpec::Ring { shortcuts: 2000 },
+        OverlaySpec::WattsStrogatz { k: 8, beta: 0.2 },
+    ] {
+        let scenario = Scenario::new(1000, FanoutSpec::poisson(4.0))
+            .with_failure_ratio(0.9)
+            .with_topology(TopologySpec::new(overlay))
+            .with_replications(30)
+            .with_seed(0x7090);
+        let mut reports: Vec<Report> = Vec::new();
+        for backend in all_backends() {
+            match backend.evaluate(&scenario) {
+                Ok(report) => {
+                    assert_eq!(
+                        report.topology,
+                        scenario.topology_label(),
+                        "{} must label the overlay it ran on",
+                        report.backend
+                    );
+                    reports.push(report);
+                }
+                Err(gossip::ModelError::Unsupported { backend, what }) => {
+                    assert_eq!(backend, "analytic", "only the analytic layer may decline");
+                    assert!(!what.is_empty(), "the refusal must explain itself");
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert_eq!(
+            reports.len(),
+            4,
+            "graph, protocol, netsim and runtime all run structured overlays"
+        );
+        let reference = reports[0].reliability;
+        for report in &reports[1..] {
+            assert_close(
+                report.reliability,
+                reference,
+                0.05,
+                &format!("{} vs graph on {}", report.backend, scenario.label()),
+            );
+        }
+    }
+}
+
+#[test]
 fn scenario_serde_roundtrip() {
     // A scenario exercising every spec enum, including a recursive
     // mixture, a crash schedule, and non-default everything.
@@ -164,6 +218,30 @@ fn scenario_serde_roundtrip() {
     let report_text = serde::json::to_string(&report).expect("report serializes");
     let report_back: Report = serde::json::from_str(&report_text).expect("report deserializes");
     assert_eq!(report_back, report);
+
+    // A structured-topology report keeps its overlay label through the
+    // wire, alongside the transport field.
+    let structured = Scenario::new(300, FanoutSpec::poisson(5.0))
+        .with_failure_ratio(0.9)
+        .with_topology(TopologySpec::new(OverlaySpec::Clustered {
+            zones: 3,
+            intra: 5,
+            inter: 1,
+        }))
+        .with_replications(5);
+    let scen_text = serde::json::to_string(&structured).expect("structured scenario serializes");
+    let scen_back: Scenario = serde::json::from_str(&scen_text).expect("deserializes");
+    assert_eq!(scen_back, structured);
+    assert!(scen_text.contains("\"Clustered\""));
+    let report = gossip::GraphBackend.evaluate(&structured).unwrap();
+    assert_eq!(
+        report.topology.as_deref(),
+        Some("clustered(z=3,intra=5,inter=1)/neigh")
+    );
+    let text = serde::json::to_string(&report).expect("structured report serializes");
+    assert!(text.contains("\"topology\":"));
+    let back: Report = serde::json::from_str(&text).expect("structured report deserializes");
+    assert_eq!(back, report, "topology label must survive the round-trip");
 }
 
 #[test]
