@@ -1,0 +1,303 @@
+//! E12 — fault ablation: reliability versus fault intensity for each of
+//! the four fault families, at the paper's headline operating point
+//! (n = 1000, Po(4) fanout), measured on the discrete-event simulator.
+//!
+//! For every family the table also carries the best i.i.d. prediction
+//! the paper's machinery can make — Eq. 11 at an effective `q` or an
+//! effective mean loss — and the divergence between the two. That
+//! divergence is the point of the exercise: it locates where the
+//! independent-failure analysis stops tracking a *structured* fault.
+//!
+//! * **churn** — symmetric join/leave at 0–100 members/s over a 200 ms
+//!   horizon, on top of q = 0.9. The prediction ignores churn entirely
+//!   (no closed form), so divergence grows with the rate.
+//! * **zones** — k of 10 zones of a clustered overlay killed at t = 0,
+//!   q = 1 otherwise; prediction is Eq. 11 at q = 1 − k/10.
+//! * **bursty** — Gilbert-Elliott loss swept by stationary mean;
+//!   prediction is Eq. 11 with i.i.d. loss at the same mean.
+//! * **adversary** — f links blocked (worst-case vs random), q = 1;
+//!   prediction treats the blocked fraction f/(n(n−1)) as extra i.i.d.
+//!   loss — spectacularly wrong for the worst-case adversary, which
+//!   silences the source with f = n − 1 ≈ 0.1% of the links.
+//!
+//! Writes `BENCH_fault_ablation.json` (workspace root or
+//! `GOSSIP_SNAPSHOT_DIR`) so the measured break-down points are
+//! committed and reviewable, plus the usual table/CSV.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use gossip_bench::{base_seed, scaled, Table};
+use gossip_model::scenario::{AnalyticBackend, Backend, FanoutSpec, Scenario};
+use gossip_model::{
+    AdversaryStrategy, BurstySpec, ChurnSpec, FaultSpec, OverlaySpec, TopologySpec,
+};
+use gossip_protocol::NetSimBackend;
+
+/// Divergence above which we call the paper's prediction broken.
+const BREAKDOWN: f64 = 0.05;
+
+struct Row {
+    family: &'static str,
+    intensity: String,
+    measured_raw: f64,
+    predicted: f64,
+}
+
+impl Row {
+    fn divergence(&self) -> f64 {
+        (self.measured_raw - self.predicted).abs()
+    }
+}
+
+fn analytic_r(scenario: &Scenario) -> f64 {
+    AnalyticBackend
+        .evaluate(scenario)
+        .expect("analytic prices")
+        .reliability
+}
+
+fn netsim_raw(scenario: &Scenario) -> f64 {
+    NetSimBackend
+        .evaluate(scenario)
+        .expect("netsim evaluates")
+        .reliability_raw
+        .expect("netsim reports raw")
+}
+
+fn main() {
+    let n = 1000;
+    let f = 4.0;
+    let reps = scaled(30);
+    let base = Scenario::new(n, FanoutSpec::poisson(f))
+        .with_replications(reps)
+        .with_seed(base_seed());
+    let mut rows: Vec<Row> = Vec::new();
+
+    // -- churn ---------------------------------------------------------
+    // The prediction is churn-blind: Eq. 11 at q = 0.9 regardless of
+    // rate. Joiners who arrive after quiescence sit unreached in the
+    // denominator, so the measured curve sags as the rate climbs.
+    let churn_base = base.clone().with_failure_ratio(0.9);
+    let churn_prediction = analytic_r(&churn_base);
+    for rate in [0.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
+        let scenario = if rate == 0.0 {
+            churn_base.clone()
+        } else {
+            churn_base
+                .clone()
+                .with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(rate, 200)))
+        };
+        rows.push(Row {
+            family: "churn",
+            intensity: format!("{rate}/s over 200ms, q=0.9"),
+            measured_raw: netsim_raw(&scenario),
+            predicted: churn_prediction,
+        });
+    }
+
+    // -- correlated zone failures -------------------------------------
+    // k of 10 zones die at t = 0 (source's zone 0 spared); the i.i.d.
+    // stand-in is Eq. 11 at q = 1 − k/10, rescaled by the overlay's own
+    // fault-free baseline so the divergence isolates the *correlation*
+    // structure rather than the (already known, see E11) clustered-
+    // overlay penalty.
+    let clustered = TopologySpec::new(OverlaySpec::Clustered {
+        zones: 10,
+        intra: 5,
+        inter: 1,
+    });
+    let zone_baseline = netsim_raw(&base.clone().with_topology(clustered));
+    let analytic_q1 = analytic_r(&base.clone().with_failure_ratio(1.0));
+    for k in 0..=5usize {
+        let mut scenario = base.clone().with_topology(clustered);
+        if k > 0 {
+            let killed: Vec<usize> = (1..=k).collect();
+            scenario = scenario.with_faults(FaultSpec::none().with_zone_failure(killed, 0));
+        }
+        let measured_raw = if k == 0 {
+            zone_baseline
+        } else {
+            netsim_raw(&scenario)
+        };
+        let iid = analytic_r(&base.clone().with_failure_ratio(1.0 - k as f64 / 10.0));
+        rows.push(Row {
+            family: "zones",
+            intensity: format!("{k}/10 zones killed at t=0, q=1"),
+            measured_raw,
+            predicted: iid / analytic_q1 * zone_baseline,
+        });
+    }
+
+    // -- bursty (Gilbert-Elliott) loss --------------------------------
+    // Sweep the stationary mean with a fixed bad-state exit rate
+    // p_bg = 0.15 (mean burst length ≈ 6.7 transmissions) and
+    // loss_bad = 0.8; the i.i.d. stand-in is Eq. 11 at the same mean.
+    for mean in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        let pi_bad = mean / 0.8;
+        let p_bg = 0.15;
+        let p_gb = pi_bad * p_bg / (1.0 - pi_bad);
+        let scenario =
+            base.clone()
+                .with_failure_ratio(0.9)
+                .with_faults(FaultSpec::none().with_bursty_loss(BurstySpec {
+                    p_gb,
+                    p_bg,
+                    loss_good: 0.0,
+                    loss_bad: 0.8,
+                }));
+        let predicted = analytic_r(&base.clone().with_failure_ratio(0.9).with_loss(mean));
+        rows.push(Row {
+            family: "bursty",
+            intensity: format!("mean loss {mean}, burst ~6.7 tx, q=0.9"),
+            measured_raw: netsim_raw(&scenario),
+            predicted,
+        });
+    }
+
+    // -- adversarial blocking -----------------------------------------
+    // f blocked links out of n(n−1) ≈ 10^6; the i.i.d. stand-in treats
+    // the blocked fraction as extra loss. The worst-case adversary
+    // spends its budget on whole uplink fans starting at the source.
+    let links = (n * (n - 1)) as f64;
+    for strategy in [AdversaryStrategy::WorstCase, AdversaryStrategy::Random] {
+        let tag = match strategy {
+            AdversaryStrategy::WorstCase => "worst",
+            AdversaryStrategy::Random => "random",
+        };
+        for f_links in [0usize, 250, 500, 999, 2000, 5000] {
+            let scenario = if f_links == 0 {
+                base.clone().with_failure_ratio(1.0)
+            } else {
+                base.clone()
+                    .with_failure_ratio(1.0)
+                    .with_faults(FaultSpec::none().with_adversary(f_links, strategy))
+            };
+            let predicted = analytic_r(
+                &base
+                    .clone()
+                    .with_failure_ratio(1.0)
+                    .with_loss(f_links as f64 / links),
+            );
+            rows.push(Row {
+                family: "adversary",
+                intensity: format!("f={f_links} {tag}, q=1"),
+                measured_raw: netsim_raw(&scenario),
+                predicted,
+            });
+        }
+    }
+
+    // -- report --------------------------------------------------------
+    let mut table = Table::new(
+        format!(
+            "E12 — fault ablation, n = {n}, Po({f}) netsim backend, {reps} runs/point \
+             (prediction = Eq. 11 at the i.i.d. equivalent)"
+        ),
+        &[
+            "family",
+            "intensity",
+            "raw R",
+            "iid prediction",
+            "divergence",
+        ],
+    );
+    let mut json_rows = String::new();
+    for row in &rows {
+        table.push(vec![
+            row.family.to_string(),
+            row.intensity.clone(),
+            format!("{:.4}", row.measured_raw),
+            format!("{:.4}", row.predicted),
+            format!("{:.4}", row.divergence()),
+        ]);
+        let _ = writeln!(
+            json_rows,
+            "    {{\"family\": \"{}\", \"intensity\": \"{}\", \"reliability_raw\": {:.4}, \
+             \"iid_prediction\": {:.4}, \"divergence\": {:.4}}},",
+            row.family,
+            row.intensity,
+            row.measured_raw,
+            row.predicted,
+            row.divergence()
+        );
+    }
+    table.print();
+    table.save("e12_fault_ablation.csv");
+
+    // Break-down points: first intensity per family where the i.i.d.
+    // prediction stops tracking the measurement.
+    println!();
+    let mut breakdowns = String::new();
+    for family in ["churn", "zones", "bursty", "adversary"] {
+        let broke = rows
+            .iter()
+            .find(|r| r.family == family && r.divergence() > BREAKDOWN);
+        match broke {
+            Some(row) => {
+                println!(
+                    "breakdown[{family}]: prediction first off by > {BREAKDOWN} at {} \
+                     (measured {:.4} vs predicted {:.4})",
+                    row.intensity, row.measured_raw, row.predicted
+                );
+                let _ = writeln!(
+                    breakdowns,
+                    "    {{\"family\": \"{family}\", \"first_breakdown\": \"{}\", \
+                     \"measured\": {:.4}, \"predicted\": {:.4}}},",
+                    row.intensity, row.measured_raw, row.predicted
+                );
+            }
+            None => {
+                println!("breakdown[{family}]: prediction tracks everywhere on this grid");
+                let _ = writeln!(
+                    breakdowns,
+                    "    {{\"family\": \"{family}\", \"first_breakdown\": null}},"
+                );
+            }
+        }
+    }
+
+    // Headline sanity: the worst-case adversary at f = n − 1 blocks
+    // ~0.1% of links and zeroes the broadcast; the i.i.d. equivalent
+    // barely notices. Robust even at GOSSIP_REPS_SCALE=0.2.
+    let headline = rows
+        .iter()
+        .find(|r| r.family == "adversary" && r.intensity.starts_with("f=999 worst"))
+        .expect("headline row present");
+    assert!(
+        headline.measured_raw < 0.05,
+        "worst-case f=n-1 must silence the source, got {:.4}",
+        headline.measured_raw
+    );
+    assert!(
+        headline.predicted > 0.9,
+        "iid equivalent of 0.1% blocked links must predict near-full delivery, got {:.4}",
+        headline.predicted
+    );
+
+    let json_rows = json_rows.trim_end().trim_end_matches(',').to_string();
+    let breakdowns = breakdowns.trim_end().trim_end_matches(',').to_string();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fault_ablation n={} Po({}) netsim backend\",\n",
+            "  \"replications_per_point\": {},\n",
+            "  \"breakdown_divergence\": {},\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"breakdowns\": [\n{}\n  ]\n",
+            "}}"
+        ),
+        n, f, reps, BREAKDOWN, json_rows, breakdowns
+    );
+    let dir = std::env::var("GOSSIP_SNAPSHOT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let path = dir.join("BENCH_fault_ablation.json");
+    std::fs::write(&path, json + "\n").expect("write snapshot");
+    println!("wrote {}", path.display());
+    println!(
+        "checkpoint: the q_c machinery prices independent faults only — correlated \
+         structure (bursts, zones, an adversary's aim) breaks the prediction at \
+         intensities the i.i.d. equivalents barely register."
+    );
+}

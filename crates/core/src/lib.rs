@@ -129,6 +129,9 @@ pub use distribution::{
     MixtureFanout, PoissonFanout, PowerLawFanout, UniformFanout,
 };
 pub use error::ModelError;
+pub use gossip_faults::{
+    AdversarySpec, AdversaryStrategy, BurstySpec, ChurnSpec, FaultSpec, ZoneFailureSpec,
+};
 pub use gossip_topology::{OverlaySpec, PeerSelection, TopologySpec};
 pub use model::Gossip;
 pub use percolation::SitePercolation;

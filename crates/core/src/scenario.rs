@@ -38,6 +38,28 @@
 //! * [`SweepGrid`] — a cartesian sweep runner that fans scenarios over
 //!   `gossip_stats::parallel` with deterministic per-cell seeds.
 //!
+//! # Failure semantics and the reliability denominator
+//!
+//! Two conventions every timed backend (netsim, runtime) shares, stated
+//! once here so the layers cannot drift apart:
+//!
+//! * **[`FailureSpec::Schedule`] is fail-stop at a virtual instant.** A
+//!   `(time_ns, member)` pair crashes that member at that virtual time:
+//!   messages it already relayed stand, messages arriving afterwards are
+//!   absorbed, and a `time_ns = 0` entry means the member was never up.
+//!   Crashing is idempotent — duplicate entries are harmless. Only the
+//!   timed backends can honour a schedule; the analytic and graph layers
+//!   return [`ModelError::Unsupported`].
+//! * **The reliability denominator is "members alive at the end".** A
+//!   member crashed by the end of the run (by a `Random` draw, a
+//!   schedule entry, a churn *leave*, or a correlated zone failure)
+//!   drops out of both the numerator and the denominator — the paper's
+//!   `R` is the fraction of *nonfailed* members reached. A member that
+//!   *joined* mid-run (churn) counts in the denominator from its join
+//!   time onward: a joiner that arrives after dissemination quiesced
+//!   never hears the broadcast and drags reliability down, which is
+//!   exactly the churn cost the static model cannot price.
+//!
 //! ```
 //! use gossip_model::scenario::{AnalyticBackend, Backend, FanoutSpec, Scenario};
 //!
@@ -58,6 +80,7 @@ use crate::error::ModelError;
 use crate::loss::LossyGossip;
 use crate::percolation::SitePercolation;
 use crate::success;
+use gossip_faults::{FaultError, FaultReduction, FaultSpec};
 use gossip_stats::parallel::parallel_map;
 use gossip_stats::rng::SplitMix64;
 use gossip_topology::{TopologyError, TopologySpec};
@@ -409,6 +432,11 @@ pub struct Scenario {
     /// overlay with uniform global selection — the paper's model; every
     /// backend treats the default as "no structured topology").
     pub topology: TopologySpec,
+    /// Fault families beyond the paper's model (default: none — a
+    /// strict passthrough; see [`FaultSpec`]): membership churn,
+    /// correlated zone failures, Gilbert-Elliott bursty loss, and
+    /// adversarial link blocking.
+    pub faults: FaultSpec,
     /// Protocol variant (default: the paper's push).
     pub protocol: ProtocolSpec,
     /// Live-runtime execution knobs (thread cap, latency pacing).
@@ -435,6 +463,7 @@ impl Scenario {
             latency: LatencySpec::default(),
             membership: MembershipSpec::Full,
             topology: TopologySpec::default(),
+            faults: FaultSpec::default(),
             protocol: ProtocolSpec::Push,
             runtime: RuntimeSpec::default(),
             replications: 20,
@@ -476,6 +505,12 @@ impl Scenario {
     /// Sets the overlay topology and peer-selection policy.
     pub fn with_topology(mut self, topology: TopologySpec) -> Self {
         self.topology = topology;
+        self
+    }
+
+    /// Sets the fault families riding on this scenario.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -522,6 +557,16 @@ impl Scenario {
             None
         } else {
             Some(self.topology.label())
+        }
+    }
+
+    /// The fault label backends put in [`Report::faults`]: `None` for
+    /// the default (fault-free) spec, `Some(label)` otherwise.
+    pub fn faults_label(&self) -> Option<String> {
+        if self.faults.is_default() {
+            None
+        } else {
+            Some(self.faults.label())
         }
     }
 
@@ -588,6 +633,30 @@ impl Scenario {
                 requirement,
             });
         }
+        // Fault parameters are validated by the faults crate; its error
+        // type is field-compatible too, so the mapping is lossless.
+        if let Err(FaultError {
+            name,
+            value,
+            requirement,
+        }) = self.faults.validate(self.n, &self.topology)
+        {
+            return Err(ModelError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            });
+        }
+        // Bursty loss *replaces* the i.i.d. loss channel; letting both
+        // run would double-count drops, so the combination is rejected
+        // here (the faults crate never sees the scenario's loss knob).
+        if self.faults.bursty_loss.is_some() && self.loss > 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "loss",
+                value: self.loss,
+                requirement: "bursty (Gilbert-Elliott) loss replaces i.i.d. loss; set loss = 0",
+            });
+        }
         if self.replications == 0 {
             return Err(ModelError::InvalidParameter {
                 name: "replications",
@@ -630,6 +699,9 @@ impl Scenario {
         }
         if let Some(topology) = self.topology_label() {
             label.push_str(&format!(" {topology}"));
+        }
+        if let Some(faults) = self.faults_label() {
+            label.push_str(&format!(" {faults}"));
         }
         match self.protocol {
             ProtocolSpec::Push => {}
@@ -684,6 +756,9 @@ pub struct Report {
     /// over, e.g. `"ring(s=2000)/neigh"`; `None` for the paper's
     /// default (complete overlay, uniform selection).
     pub topology: Option<String>,
+    /// Fault families the scenario was evaluated under, e.g.
+    /// `"churn(j=10,l=10,h=200ms)"`; `None` for the fault-free default.
+    pub faults: Option<String>,
     /// Mean messages lost in transit per execution — injected loss plus
     /// sends to crashed peers (live runtime backend only).
     pub messages_lost: Option<f64>,
@@ -757,18 +832,31 @@ impl Backend for AnalyticBackend {
                     "structured overlays (the generating-function model assumes the complete graph)",
             });
         }
+        // Fault families either reduce to the closed forms (no-op, or
+        // extra i.i.d. loss folding into the bond-percolation channel)
+        // or are declined with a typed error.
+        let loss = match scenario.faults.reduce() {
+            FaultReduction::Noop => scenario.loss,
+            FaultReduction::ExtraIidLoss(extra) => 1.0 - (1.0 - scenario.loss) * (1.0 - extra),
+            FaultReduction::Unsupported(what) => {
+                return Err(ModelError::Unsupported {
+                    backend: "analytic",
+                    what,
+                })
+            }
+        };
         let dist = scenario.fanout.build()?;
         let reliability = match scenario.protocol {
             // Site + bond percolation; loss = 0 reduces to the paper's
             // crash-only model.
-            ProtocolSpec::Push => LossyGossip::new(&dist, q, scenario.loss)?.reliability()?,
+            ProtocolSpec::Push => LossyGossip::new(&dist, q, loss)?.reliability()?,
             // Pulls eventually reach every nonfailed member that the
             // push phase's giant component can reach and every member
             // reaches *into* — in the analytic limit anti-entropy
             // closes the gap to the full nonfailed set whenever the
             // push phase percolates at all.
             ProtocolSpec::PushPull => {
-                let push = LossyGossip::new(&dist, q, scenario.loss)?.reliability()?;
+                let push = LossyGossip::new(&dist, q, loss)?.reliability()?;
                 if push > 0.0 {
                     1.0
                 } else {
@@ -805,6 +893,7 @@ impl Backend for AnalyticBackend {
             quiescence_secs: None,
             transport: None,
             topology: None,
+            faults: scenario.faults_label(),
             messages_lost: None,
             success_within_t: success::success_probability(reliability, scenario.executions),
         })
@@ -1244,5 +1333,134 @@ mod tests {
         assert!(label.contains("loss=0.1"));
         assert!(label.contains("scamp"));
         assert!(label.contains("flood"));
+    }
+
+    #[test]
+    fn analytic_folds_degenerate_bursty_loss_into_closed_form() {
+        use gossip_faults::BurstySpec;
+        // Equal-state GE loss at 0.25 is plain i.i.d. loss at 0.25:
+        // Po(6) thinned by it must equal explicit loss = 0.25.
+        let bursty = Scenario::new(1000, FanoutSpec::poisson(6.0))
+            .with_failure_ratio(0.9)
+            .with_faults(FaultSpec::none().with_bursty_loss(BurstySpec {
+                p_gb: 0.2,
+                p_bg: 0.3,
+                loss_good: 0.25,
+                loss_bad: 0.25,
+            }));
+        let explicit = Scenario::new(1000, FanoutSpec::poisson(6.0))
+            .with_failure_ratio(0.9)
+            .with_loss(0.25);
+        let a = AnalyticBackend.evaluate(&bursty).unwrap();
+        let b = AnalyticBackend.evaluate(&explicit).unwrap();
+        assert!((a.reliability - b.reliability).abs() < 1e-12);
+        assert_eq!(
+            a.faults.as_deref(),
+            Some("ge(pgb=0.2,pbg=0.3,lg=0.25,lb=0.25)")
+        );
+        assert_eq!(b.faults, None);
+    }
+
+    #[test]
+    fn analytic_declines_nonreducible_faults() {
+        use gossip_faults::{AdversaryStrategy, BurstySpec, ChurnSpec};
+        let churned =
+            headline().with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(10.0, 200)));
+        assert!(matches!(
+            AnalyticBackend.evaluate(&churned),
+            Err(ModelError::Unsupported {
+                backend: "analytic",
+                ..
+            })
+        ));
+        let bursty = headline().with_faults(FaultSpec::none().with_bursty_loss(BurstySpec {
+            p_gb: 0.05,
+            p_bg: 0.15,
+            loss_good: 0.0,
+            loss_bad: 0.8,
+        }));
+        assert!(matches!(
+            AnalyticBackend.evaluate(&bursty),
+            Err(ModelError::Unsupported { .. })
+        ));
+        let blocked = headline()
+            .with_faults(FaultSpec::none().with_adversary(999, AdversaryStrategy::WorstCase));
+        assert!(matches!(
+            AnalyticBackend.evaluate(&blocked),
+            Err(ModelError::Unsupported { .. })
+        ));
+        // Zero-rate churn is a no-op: the closed form still applies.
+        let idle =
+            headline().with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(0.0, 200)));
+        let report = AnalyticBackend.evaluate(&idle).unwrap();
+        assert!((report.reliability - 0.969_506).abs() < 1e-5);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_faults() {
+        use gossip_faults::{BurstySpec, ChurnSpec};
+        // Negative churn rate maps losslessly onto InvalidParameter.
+        let churned = headline().with_faults(FaultSpec::none().with_churn(ChurnSpec {
+            join_per_sec: -1.0,
+            leave_per_sec: 0.0,
+            horizon_ms: 100,
+        }));
+        assert!(matches!(
+            churned.validate(),
+            Err(ModelError::InvalidParameter {
+                name: "join_per_sec",
+                ..
+            })
+        ));
+        // Zone failures need a Clustered overlay.
+        let zoned = headline().with_faults(FaultSpec::none().with_zone_failure(vec![0], 10));
+        assert!(matches!(
+            zoned.validate(),
+            Err(ModelError::InvalidParameter {
+                name: "zone_failure",
+                ..
+            })
+        ));
+        // Bursty loss and i.i.d. loss are mutually exclusive.
+        let doubled = headline()
+            .with_loss(0.1)
+            .with_faults(FaultSpec::none().with_bursty_loss(BurstySpec {
+                p_gb: 0.05,
+                p_bg: 0.15,
+                loss_good: 0.0,
+                loss_bad: 0.8,
+            }));
+        assert!(matches!(
+            doubled.validate(),
+            Err(ModelError::InvalidParameter { name: "loss", .. })
+        ));
+    }
+
+    #[test]
+    fn scenario_label_mentions_faults() {
+        use gossip_faults::ChurnSpec;
+        assert_eq!(headline().faults_label(), None);
+        let churned =
+            headline().with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(10.0, 200)));
+        assert!(churned.label().contains("churn(j=10,l=10,h=200ms)"));
+        assert_eq!(
+            churned.faults_label().as_deref(),
+            Some("churn(j=10,l=10,h=200ms)")
+        );
+    }
+
+    #[test]
+    fn scenario_and_report_round_trip_with_faults() {
+        use gossip_faults::ChurnSpec;
+        let scenario =
+            headline().with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(5.0, 150)));
+        let json = serde::json::to_string(&scenario).unwrap();
+        let back: Scenario = serde::json::from_str(&json).unwrap();
+        assert_eq!(scenario, back);
+        let report = AnalyticBackend.evaluate(&headline()).unwrap();
+        let json = serde::json::to_string(&report).unwrap();
+        assert!(json.contains("\"faults\":null"), "{json}");
+        let back: Report = serde::json::from_str(&json).unwrap();
+        assert_eq!(report, back);
     }
 }

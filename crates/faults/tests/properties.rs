@@ -1,0 +1,75 @@
+//! Property-based invariants of the fault models: the Gilbert-Elliott
+//! chain's stationary loss rate matches its closed form and is
+//! seed-deterministic; churn plans conserve the population accounting.
+
+use gossip_faults::{BurstySpec, ChurnPlan, ChurnSpec, GeChain, GilbertElliott};
+use gossip_stats::rng::Xoshiro256StarStar;
+use proptest::prelude::*;
+
+/// Mixing-friendly Gilbert-Elliott parameters: transition probabilities
+/// bounded away from 0 and 1 so 40k transmissions see both states often.
+fn ge_params() -> impl Strategy<Value = BurstySpec> {
+    (1u32..=8, 1u32..=8, 0u32..=4, 4u32..=10).prop_map(|(gb, bg, lg, lb)| BurstySpec {
+        p_gb: gb as f64 / 10.0,
+        p_bg: bg as f64 / 10.0,
+        loss_good: lg as f64 / 10.0,
+        loss_bad: lb as f64 / 10.0,
+    })
+}
+
+proptest! {
+    #[test]
+    fn ge_stationary_loss_matches_closed_form(spec in ge_params(), seed in 0u64..1_000_000) {
+        let ge = GilbertElliott::new(&spec);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut chain = GeChain::start(&ge, &mut rng);
+        let trials = 40_000u32;
+        let lost = (0..trials).filter(|_| chain.transmit(&ge, &mut rng)).count();
+        let rate = lost as f64 / trials as f64;
+        // Correlated samples widen the CI; 0.04 absolute tolerance holds
+        // comfortably for chains that flip every few steps.
+        prop_assert!(
+            (rate - ge.mean_loss()).abs() < 0.04,
+            "empirical {} vs closed form {} for {:?}",
+            rate,
+            ge.mean_loss(),
+            spec
+        );
+    }
+
+    #[test]
+    fn ge_chain_is_seed_deterministic(spec in ge_params(), seed in 0u64..1_000_000) {
+        let ge = GilbertElliott::new(&spec);
+        let run = || {
+            let mut rng = Xoshiro256StarStar::new(seed);
+            let mut chain = GeChain::start(&ge, &mut rng);
+            (0..256).map(|_| chain.transmit(&ge, &mut rng)).collect::<Vec<bool>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn churn_plan_conserves_population(
+        n in 10usize..500,
+        rate in 0u32..=100,
+        horizon_ms in 1u64..500,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = ChurnSpec::symmetric(rate as f64, horizon_ms);
+        let plan = ChurnPlan::sample(&spec, n, 0, seed);
+        // Size conservation: initial + joins − leaves = final population.
+        prop_assert_eq!(plan.final_population(n), n + plan.joins.len() - plan.leaves.len());
+        // Nobody leaves twice, the source never leaves, leavers exist.
+        let mut leavers: Vec<u32> = plan.leaves.iter().map(|&(_, v)| v).collect();
+        leavers.sort_unstable();
+        let unique = leavers.len();
+        leavers.dedup();
+        prop_assert_eq!(leavers.len(), unique, "duplicate leaver");
+        prop_assert!(leavers.iter().all(|&v| v != 0 && (v as usize) < n));
+        prop_assert!(plan.leaves.len() < n);
+        // Join ids are exactly n..n+K in time order.
+        for (i, &(_, id)) in plan.joins.iter().enumerate() {
+            prop_assert_eq!(id as usize, n + i);
+        }
+    }
+}

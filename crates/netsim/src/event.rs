@@ -22,6 +22,9 @@ pub enum EventKind<M> {
     },
     /// Crash the target node (fail-stop: it stops processing events).
     Crash,
+    /// Activate a dormant target node (membership churn: the node joins
+    /// the group, enters the membership view, and runs `on_start`).
+    Join,
 }
 
 /// A scheduled event. Ordering is `(time, seq)` — `seq` is a global

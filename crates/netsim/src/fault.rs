@@ -8,6 +8,8 @@
 //! immune set. [`FailurePlan::CrashAtTimes`] additionally supports
 //! mid-run crashes for experiments beyond the paper's model.
 
+use gossip_faults::{BlockedLinks, GeChain, GilbertElliott};
+use gossip_stats::rng::Xoshiro256StarStar;
 use serde::{Deserialize, Serialize};
 
 use crate::event::NodeId;
@@ -46,6 +48,55 @@ impl FailurePlan {
     }
 }
 
+/// Link-level fault state consulted on every transmission, *before* the
+/// network's own i.i.d. loss draw: adversarially blocked links drop the
+/// message outright; otherwise an optional per-sender Gilbert-Elliott
+/// chain decides (bursty loss replaces i.i.d. loss, so the two are never
+/// configured together).
+pub struct LinkFaults {
+    blocked: Option<BlockedLinks>,
+    ge: Option<(GilbertElliott, Vec<GeChain>)>,
+}
+
+impl LinkFaults {
+    /// Builds the per-run link-fault state for `n` senders. GE chains
+    /// start from the stationary distribution using `rng` (one draw per
+    /// sender — deterministic given the stream).
+    pub fn new(
+        n: usize,
+        blocked: Option<BlockedLinks>,
+        ge: Option<GilbertElliott>,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
+        let ge = ge.map(|channel| {
+            let chains = (0..n).map(|_| GeChain::start(&channel, rng)).collect();
+            (channel, chains)
+        });
+        LinkFaults { blocked, ge }
+    }
+
+    /// True when neither family is active (callers can skip installing).
+    pub fn is_empty(&self) -> bool {
+        self.blocked.is_none() && self.ge.is_none()
+    }
+
+    /// One transmission over `from → to`: returns `true` when the link
+    /// fault drops it. Advances `from`'s chain — blocked links
+    /// short-circuit *before* the GE draw so the adversary does not
+    /// perturb the channel state stream.
+    pub fn on_transmit(&mut self, from: NodeId, to: NodeId, rng: &mut Xoshiro256StarStar) -> bool {
+        if let Some(blocked) = &self.blocked {
+            if blocked.blocks(from, to) {
+                return true;
+            }
+        }
+        match &mut self.ge {
+            Some((channel, chains)) => chains[from as usize].transmit(channel, rng),
+            None => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +120,51 @@ mod tests {
     #[should_panic(expected = "nonfailed ratio")]
     fn rejects_zero_q() {
         FailurePlan::paper_model(0.0, 0);
+    }
+
+    #[test]
+    fn blocked_links_drop_without_touching_the_chain() {
+        use gossip_faults::{AdversarySpec, AdversaryStrategy, BurstySpec};
+        let blocked = BlockedLinks::build(
+            4,
+            0,
+            &AdversarySpec {
+                f: 3,
+                strategy: AdversaryStrategy::WorstCase,
+            },
+            0,
+        );
+        let channel = GilbertElliott::new(&BurstySpec {
+            p_gb: 0.5,
+            p_bg: 0.5,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        });
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut with_blocked = LinkFaults::new(4, Some(blocked.clone()), Some(channel), &mut rng);
+        let mut rng2 = Xoshiro256StarStar::new(1);
+        let mut without = LinkFaults::new(4, None, Some(channel), &mut rng2);
+        // Source uplinks are all cut; the drop happens before any GE
+        // draw, so both instances keep identical chain streams on the
+        // unblocked sender 1.
+        assert!(with_blocked.on_transmit(0, 1, &mut rng));
+        assert!(with_blocked.on_transmit(0, 3, &mut rng));
+        for _ in 0..32 {
+            let a = with_blocked.on_transmit(1, 2, &mut rng);
+            let b = without.on_transmit(1, 2, &mut rng2);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_link_faults_pass_everything() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        let mut faults = LinkFaults::new(8, None, None, &mut rng);
+        assert!(faults.is_empty());
+        for from in 0..8u32 {
+            for to in 0..8u32 {
+                assert!(!faults.on_transmit(from, to, &mut rng));
+            }
+        }
     }
 }

@@ -66,7 +66,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{Event, EventKind, NodeId};
-pub use fault::FailurePlan;
+pub use fault::{FailurePlan, LinkFaults};
 pub use metrics::SimMetrics;
 pub use network::{LatencyModel, NetworkConfig};
 pub use node::{NodeBehavior, NodeCtx};

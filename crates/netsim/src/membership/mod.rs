@@ -15,10 +15,12 @@
 //!   structured overlay (`gossip-topology`), with targets picked by the
 //!   overlay's peer-selection policy.
 
+pub mod dynamic;
 pub mod full;
 pub mod overlay;
 pub mod scamp;
 
+pub use dynamic::DynamicView;
 pub use full::FullView;
 pub use overlay::OverlayView;
 pub use scamp::ScampViews;
@@ -47,6 +49,11 @@ pub trait Membership: Send + Sync {
         rng: &mut Xoshiro256StarStar,
         out: &mut Vec<NodeId>,
     );
+
+    /// Bootstraps a previously dormant member into the view (membership
+    /// churn: a joiner becomes visible as a gossip target). Static views
+    /// ignore this — only [`DynamicView`] tracks activation.
+    fn activate(&mut self, _node: NodeId) {}
 }
 
 /// Rejection-samples `k` distinct values from `0..n` excluding `me`,

@@ -3,7 +3,7 @@
 use gossip_stats::rng::Xoshiro256StarStar;
 
 use crate::event::{EventKind, NodeId};
-use crate::fault::FailurePlan;
+use crate::fault::{FailurePlan, LinkFaults};
 use crate::membership::Membership;
 use crate::metrics::SimMetrics;
 use crate::network::NetworkConfig;
@@ -24,6 +24,7 @@ pub struct Simulator<M, B> {
     now: SimTime,
     metrics: SimMetrics,
     tracer: Option<Tracer>,
+    link_faults: Option<LinkFaults>,
     // Workhorse buffers reused across dispatches (no steady-state alloc).
     outbox: Vec<(NodeId, M)>,
     timerbox: Vec<(SimDuration, u64)>,
@@ -56,6 +57,7 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             now: SimTime::ZERO,
             metrics: SimMetrics::default(),
             tracer: None,
+            link_faults: None,
             outbox: Vec::new(),
             timerbox: Vec::new(),
         }
@@ -142,6 +144,30 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
         }
     }
 
+    /// Installs link-level fault state (adversarial blocking and/or
+    /// bursty loss) consulted before the network's own loss draw.
+    pub fn set_link_faults(&mut self, faults: LinkFaults) {
+        self.link_faults = (!faults.is_empty()).then_some(faults);
+    }
+
+    /// Marks a node dormant before the run starts: it is skipped by
+    /// [`Simulator::start_all`] and absorbs deliveries, exactly like a
+    /// crashed node, until a scheduled [`EventKind::Join`] resurrects
+    /// it. Used for churn joiners (no crash is counted).
+    pub fn make_dormant(&mut self, node: NodeId) {
+        self.crashed[node as usize] = true;
+    }
+
+    /// Schedules `node` to join (activate) at `time`.
+    pub fn schedule_join(&mut self, time: SimTime, node: NodeId) {
+        self.queue.schedule(time, node, EventKind::Join);
+    }
+
+    /// Schedules `node` to crash at `time`.
+    pub fn schedule_crash(&mut self, time: SimTime, node: NodeId) {
+        self.queue.schedule(time, node, EventKind::Crash);
+    }
+
     /// Invokes `on_start` on every live node (in id order, at time 0).
     pub fn start_all(&mut self) {
         for v in 0..self.behaviors.len() as NodeId {
@@ -197,6 +223,19 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
                         t.record(self.now, target, TraceKind::TimerFired { id });
                     }
                     self.dispatch_timer(target, id);
+                }
+            }
+            EventKind::Join => {
+                // Dormant (or pre-crashed) nodes come up; joining an
+                // already-live node is a no-op. A crash scheduled after
+                // the join still wins — it simply fires later.
+                if self.crashed[target as usize] {
+                    self.crashed[target as usize] = false;
+                    self.membership.activate(target);
+                    if let Some(t) = &mut self.tracer {
+                        t.record(self.now, target, TraceKind::Joined);
+                    }
+                    self.dispatch_start(target);
                 }
             }
         }
@@ -300,6 +339,19 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
     ) {
         for (to, msg) in outbox.drain(..) {
             self.metrics.messages_sent += 1;
+            // Link faults (blocked links, bursty loss) drop before the
+            // network's own i.i.d. loss draw gets a say.
+            let fault_lost = match &mut self.link_faults {
+                Some(faults) => faults.on_transmit(sender, to, &mut self.rng),
+                None => false,
+            };
+            if fault_lost {
+                self.metrics.messages_lost += 1;
+                if let Some(t) = &mut self.tracer {
+                    t.record(self.now, sender, TraceKind::Lost { to });
+                }
+                continue;
+            }
             match self.network.transmit(&mut self.rng) {
                 Some(latency) => {
                     if let Some(t) = &mut self.tracer {
@@ -494,6 +546,56 @@ mod tests {
             m.messages_sent,
             m.messages_lost + (m.messages_delivered - 1)
         );
+    }
+
+    #[test]
+    fn dormant_nodes_join_and_process() {
+        use crate::membership::DynamicView;
+        // 4 initial members + 1 joiner (id 4) arriving at 5 ms.
+        let mut sim = Simulator::new(
+            (0..5)
+                .map(|_| Relay {
+                    seen: false,
+                    receipts: 0,
+                })
+                .collect::<Vec<_>>(),
+            NetworkConfig::new(LatencyModel::constant_millis(1)),
+            Box::new(DynamicView::new(5, 4)),
+            11,
+        );
+        sim.make_dormant(4);
+        sim.schedule_join(SimTime::from_nanos(5_000_000), 4);
+        assert_eq!(sim.live_count(), 4);
+        sim.inject(4, 4, 9); // delivery to a dormant node is absorbed
+        sim.run_to_quiescence();
+        assert!(!sim.is_crashed(4), "joiner must be live after its join");
+        assert_eq!(sim.live_count(), 5);
+        assert_eq!(sim.metrics().deliveries_to_crashed, 1);
+        assert_eq!(sim.metrics().crashes, 0, "joining is not a crash");
+    }
+
+    #[test]
+    fn link_faults_block_the_source_fan() {
+        use gossip_faults::{AdversarySpec, AdversaryStrategy, BlockedLinks};
+        let mut sim = relay_sim(10, 13);
+        let blocked = BlockedLinks::build(
+            10,
+            0,
+            &AdversarySpec {
+                f: 9,
+                strategy: AdversaryStrategy::WorstCase,
+            },
+            0,
+        );
+        let mut rng = Xoshiro256StarStar::new(99);
+        sim.set_link_faults(LinkFaults::new(10, Some(blocked), None, &mut rng));
+        sim.inject(0, 0, 1);
+        sim.run_to_quiescence();
+        let m = sim.metrics();
+        // The source's single relay (and any chain it would start) dies
+        // on its blocked uplink: nobody but the source ever delivers.
+        assert_eq!(m.messages_delivered, 1, "only the injection lands");
+        assert_eq!(m.messages_lost, m.messages_sent);
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub enum TraceKind {
     },
     /// The node crashed.
     Crashed,
+    /// The node joined the group (membership churn).
+    Joined,
 }
 
 /// One trace record.

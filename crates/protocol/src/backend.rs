@@ -19,6 +19,7 @@
 
 use std::sync::Arc;
 
+use gossip_faults::GilbertElliott;
 use gossip_model::distribution::FanoutDistribution;
 use gossip_model::loss::LossyGossip;
 use gossip_model::percolation::SitePercolation;
@@ -79,6 +80,21 @@ fn membership_kind(
     Ok(MembershipKind::Overlay {
         spec: scenario.topology,
     })
+}
+
+/// Churn bootstraps joiners into the *full* membership view; partial
+/// views and pinned overlay neighbour lists have no bootstrap path, so
+/// the combination is a typed refusal rather than a silent wrong answer.
+fn check_churn_support(backend: &'static str, scenario: &Scenario) -> Result<(), ModelError> {
+    if scenario.faults.churn.is_some()
+        && (scenario.membership != MembershipSpec::Full || !scenario.topology.is_default())
+    {
+        return Err(ModelError::Unsupported {
+            backend,
+            what: "membership churn combined with partial views or structured overlays (joiners can only bootstrap into the full view)",
+        });
+    }
+    Ok(())
 }
 
 fn failure_plan(scenario: &Scenario, source: u32) -> FailurePlan {
@@ -160,8 +176,16 @@ fn run_variant(
 /// cannot price the scenario (e.g. crash schedules).
 fn takeoff_threshold(scenario: &Scenario, dist: &Arc<dyn FanoutDistribution>) -> f64 {
     let q = scenario.q().unwrap_or(1.0);
+    // Bursty loss folds in at its stationary mean: the prediction is an
+    // upper bound (burstiness only hurts more), which is all a take-off
+    // split needs.
+    let mut loss = scenario.loss;
+    if let Some(bursty) = &scenario.faults.bursty_loss {
+        let mean = GilbertElliott::new(bursty).mean_loss();
+        loss = 1.0 - (1.0 - loss) * (1.0 - mean);
+    }
     let prediction = match scenario.protocol {
-        ProtocolSpec::Push => LossyGossip::new(&**dist, q, scenario.loss)
+        ProtocolSpec::Push => LossyGossip::new(&**dist, q, loss)
             .and_then(|m| m.reliability())
             .unwrap_or(1.0),
         // Flood / push-pull complete whenever anything spreads.
@@ -239,6 +263,7 @@ fn evaluate_monte_carlo(
         },
         transport: None,
         topology: scenario.topology_label(),
+        faults: scenario.faults_label(),
         messages_lost: None,
         success_within_t: success::success_probability(reliability, scenario.executions),
     })
@@ -277,8 +302,10 @@ impl Backend for ProtocolBackend {
                 })
             }
         };
+        check_churn_support(self.name(), scenario)?;
         let cfg = ExecutionConfig::new(scenario.n, q)
-            .with_membership(membership_kind(self.name(), scenario)?);
+            .with_membership(membership_kind(self.name(), scenario)?)
+            .with_faults(scenario.faults.clone());
         evaluate_monte_carlo(self.name(), scenario, &cfg, false)
     }
 }
@@ -302,9 +329,11 @@ impl Backend for NetSimBackend {
             latency: latency_model(scenario.latency),
             loss_probability: scenario.loss,
         };
+        check_churn_support(self.name(), scenario)?;
         let cfg = ExecutionConfig::new(scenario.n, q)
             .with_membership(membership_kind(self.name(), scenario)?)
-            .with_network(network);
+            .with_network(network)
+            .with_faults(scenario.faults.clone());
         evaluate_monte_carlo(self.name(), scenario, &cfg, true)
     }
 }
@@ -442,6 +471,70 @@ mod tests {
         // Default topologies report None.
         let plain = ProtocolBackend.evaluate(&headline(5)).unwrap();
         assert_eq!(plain.topology, None);
+    }
+
+    #[test]
+    fn faults_flow_through_to_the_report() {
+        use gossip_faults::ChurnSpec;
+        use gossip_model::FaultSpec;
+        let scenario = Scenario::new(400, FanoutSpec::poisson(6.0))
+            .with_replications(6)
+            .with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(20.0, 100)));
+        let report = NetSimBackend.evaluate(&scenario).unwrap();
+        assert_eq!(report.faults.as_deref(), Some("churn(j=20,l=20,h=100ms)"));
+        assert!(report.reliability > 0.5, "r = {}", report.reliability);
+        // Fault-free reports carry no label.
+        let plain = ProtocolBackend.evaluate(&headline(5)).unwrap();
+        assert_eq!(plain.faults, None);
+    }
+
+    #[test]
+    fn churn_needs_full_membership() {
+        use gossip_faults::ChurnSpec;
+        use gossip_model::FaultSpec;
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        let churned = FaultSpec::none().with_churn(ChurnSpec::symmetric(10.0, 100));
+        let scamp = headline(5)
+            .with_membership(MembershipSpec::Scamp { c: 2 })
+            .with_faults(churned.clone());
+        assert!(matches!(
+            ProtocolBackend.evaluate(&scamp),
+            Err(ModelError::Unsupported { .. })
+        ));
+        let structured = headline(5)
+            .with_topology(TopologySpec::new(OverlaySpec::Ring { shortcuts: 2000 }))
+            .with_faults(churned);
+        assert!(matches!(
+            NetSimBackend.evaluate(&structured),
+            Err(ModelError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn zone_failure_runs_on_clustered_overlays() {
+        use gossip_model::FaultSpec;
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        let spec = TopologySpec::new(OverlaySpec::Clustered {
+            zones: 5,
+            intra: 8,
+            inter: 2,
+        });
+        let clean = Scenario::new(500, FanoutSpec::poisson(6.0))
+            .with_topology(spec)
+            .with_replications(6);
+        let killed = clean
+            .clone()
+            .with_faults(FaultSpec::none().with_zone_failure(vec![1, 3], 0));
+        let clean_report = NetSimBackend.evaluate(&clean).unwrap();
+        let killed_report = NetSimBackend.evaluate(&killed).unwrap();
+        // Two of five zones are gone from the start: the survivors still
+        // percolate (inter-zone links exist), and the denominator drops.
+        assert!(
+            killed_report.reliability > 0.3,
+            "killed r = {}",
+            killed_report.reliability
+        );
+        assert!(clean_report.reliability > killed_report.reliability - 0.2);
     }
 
     #[test]

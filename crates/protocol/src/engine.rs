@@ -8,11 +8,14 @@
 
 use std::sync::Arc;
 
+use gossip_faults::{zone_members, BlockedLinks, ChurnPlan, FaultSpec, GilbertElliott};
 use gossip_model::distribution::FanoutDistribution;
-use gossip_netsim::membership::{FullView, Membership, OverlayView, ScampViews};
-use gossip_netsim::{FailurePlan, NetworkConfig, NodeBehavior, NodeId, SimTime, Simulator};
-use gossip_stats::rng::SplitMix64;
-use gossip_topology::TopologySpec;
+use gossip_netsim::membership::{DynamicView, FullView, Membership, OverlayView, ScampViews};
+use gossip_netsim::{
+    FailurePlan, LinkFaults, NetworkConfig, NodeBehavior, NodeId, SimTime, Simulator,
+};
+use gossip_stats::rng::{SplitMix64, Xoshiro256StarStar};
+use gossip_topology::{OverlaySpec, TopologySpec};
 use serde::{Deserialize, Serialize};
 
 use crate::message::{GossipMessage, MessageId};
@@ -51,6 +54,8 @@ pub struct ExecutionConfig {
     pub network: NetworkConfig,
     /// Membership service.
     pub membership: MembershipKind,
+    /// Fault families beyond the paper's model (default: none).
+    pub faults: FaultSpec,
 }
 
 impl ExecutionConfig {
@@ -65,12 +70,19 @@ impl ExecutionConfig {
             source: 0,
             network: NetworkConfig::default(),
             membership: MembershipKind::Full,
+            faults: FaultSpec::default(),
         }
     }
 
     /// Replaces the membership service.
     pub fn with_membership(mut self, membership: MembershipKind) -> Self {
         self.membership = membership;
+        self
+    }
+
+    /// Replaces the fault specification.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -196,14 +208,76 @@ where
 {
     let membership_seed = SplitMix64::derive(seed, 0x5CA0);
     let sim_seed = SplitMix64::derive(seed, 0x51E0);
-    let behaviors: Vec<P> = (0..cfg.n as NodeId).map(&mut make).collect();
-    let mut sim = Simulator::new(
-        behaviors,
-        cfg.network,
-        cfg.build_membership(membership_seed),
-        sim_seed,
-    );
+
+    // Churn sizes the simulator for the *final* population: joiners get
+    // real node slots (ids n..n+K) that stay dormant until their join
+    // event fires. Everything derives from `seed` — the realized plan is
+    // part of the execution's identity.
+    let churn_plan = cfg.faults.churn.as_ref().map(|churn| {
+        assert!(
+            matches!(cfg.membership, MembershipKind::Full),
+            "membership churn needs full-view membership (views cannot bootstrap joiners)"
+        );
+        ChurnPlan::sample(churn, cfg.n, cfg.source, SplitMix64::derive(seed, 0xC4A2))
+    });
+    let total = cfg.n + churn_plan.as_ref().map_or(0, |p| p.joins.len());
+
+    let behaviors: Vec<P> = (0..total as NodeId).map(&mut make).collect();
+    let membership: Box<dyn Membership> = if churn_plan.is_some() {
+        Box::new(DynamicView::new(total, cfg.n))
+    } else {
+        cfg.build_membership(membership_seed)
+    };
+    let mut sim = Simulator::new(behaviors, cfg.network, membership, sim_seed);
     sim.apply_failure_plan(plan);
+    if let Some(churn) = &churn_plan {
+        // Dormant until their join event; a joiner the failure plan
+        // already crashed is simply resurrected by its join (the q draw
+        // applies to the initial group, not to arrivals).
+        for &(at_ns, node) in &churn.joins {
+            sim.make_dormant(node);
+            sim.schedule_join(SimTime::from_nanos(at_ns), node);
+        }
+        for &(at_ns, node) in &churn.leaves {
+            sim.schedule_crash(SimTime::from_nanos(at_ns), node);
+        }
+    }
+    if let Some(zone_failure) = &cfg.faults.zone_failure {
+        let zones = match &cfg.membership {
+            MembershipKind::Overlay {
+                spec:
+                    TopologySpec {
+                        overlay: OverlaySpec::Clustered { zones, .. },
+                        ..
+                    },
+            } => *zones,
+            _ => panic!("zone failures need a Clustered overlay membership"),
+        };
+        // Scheduled before the injection: an `at_ms = 0` kill fires
+        // before the source's message lands (events order by time, then
+        // insertion sequence).
+        let at = SimTime::from_nanos(zone_failure.at_ms * 1_000_000);
+        for &zone in &zone_failure.zones {
+            for member in zone_members(cfg.n, zones, zone) {
+                if member as NodeId != cfg.source {
+                    sim.schedule_crash(at, member as NodeId);
+                }
+            }
+        }
+    }
+    if cfg.faults.bursty_loss.is_some() || cfg.faults.adversary.is_some() {
+        let blocked = cfg.faults.adversary.as_ref().map(|adversary| {
+            BlockedLinks::build(
+                total,
+                cfg.source,
+                adversary,
+                SplitMix64::derive(seed, 0xAD7E),
+            )
+        });
+        let ge = cfg.faults.bursty_loss.as_ref().map(GilbertElliott::new);
+        let mut chain_rng = Xoshiro256StarStar::new(SplitMix64::derive(seed, 0x6E11));
+        sim.set_link_faults(LinkFaults::new(total, blocked, ge, &mut chain_rng));
+    }
     sim.start_all();
     inject(&mut sim, cfg.source);
     sim.run_to_quiescence();
@@ -351,5 +425,75 @@ mod tests {
     #[should_panic(expected = "q must be in (0, 1]")]
     fn rejects_bad_q() {
         ExecutionConfig::new(10, 0.0);
+    }
+
+    #[test]
+    fn churn_accounting_matches_the_sampled_plan() {
+        use gossip_faults::ChurnSpec;
+        let spec = ChurnSpec::symmetric(40.0, 200);
+        let cfg = ExecutionConfig::new(300, 1.0).with_faults(FaultSpec::none().with_churn(spec));
+        let seed = 77;
+        let out = run_push(&cfg, &PoissonFanout::new(6.0), seed);
+        // With q = 1 the only crashes are churn leaves, so the
+        // denominator is exactly the plan's final population.
+        let plan = ChurnPlan::sample(&spec, 300, 0, SplitMix64::derive(seed, 0xC4A2));
+        assert!(
+            !plan.joins.is_empty() && !plan.leaves.is_empty(),
+            "plan too quiet"
+        );
+        assert_eq!(out.nonfailed, plan.final_population(300));
+        // Determinism holds through the churn machinery.
+        assert_eq!(out, run_push(&cfg, &PoissonFanout::new(6.0), seed));
+    }
+
+    #[test]
+    fn zone_kill_at_start_excludes_the_zone() {
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        let spec = TopologySpec::new(OverlaySpec::Clustered {
+            zones: 5,
+            intra: 6,
+            inter: 2,
+        });
+        let cfg = ExecutionConfig::new(200, 1.0)
+            .with_membership(MembershipKind::Overlay { spec })
+            .with_faults(FaultSpec::none().with_zone_failure(vec![0, 2], 0));
+        let out = run_push(&cfg, &PoissonFanout::new(6.0), 5);
+        // Zones 0 and 2 hold 40 members each; the source (id 0, zone 0)
+        // is immune, so 79 members die before the injection lands.
+        assert_eq!(out.nonfailed, 200 - 79);
+        assert!(out.nonfailed_reached <= out.nonfailed);
+    }
+
+    #[test]
+    fn worst_case_adversary_silences_the_source() {
+        use gossip_faults::AdversaryStrategy;
+        let cfg = ExecutionConfig::new(100, 1.0)
+            .with_faults(FaultSpec::none().with_adversary(99, AdversaryStrategy::WorstCase));
+        let out = run_push(&cfg, &PoissonFanout::new(8.0), 6);
+        // All 99 source uplinks are blocked: only the source delivers.
+        assert_eq!(out.nonfailed_reached, 1);
+        assert!((out.reliability() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_loss_thins_dissemination() {
+        use gossip_faults::BurstySpec;
+        let cfg = ExecutionConfig::new(500, 1.0);
+        let clean = run_push(&cfg, &PoissonFanout::new(4.0), 8);
+        let bursty_cfg = cfg
+            .clone()
+            .with_faults(FaultSpec::none().with_bursty_loss(BurstySpec {
+                p_gb: 0.05,
+                p_bg: 0.15,
+                loss_good: 0.0,
+                loss_bad: 0.9,
+            }));
+        let bursty = run_push(&bursty_cfg, &PoissonFanout::new(4.0), 8);
+        assert!(
+            bursty.nonfailed_reached < clean.nonfailed_reached,
+            "bursty {} vs clean {}",
+            bursty.nonfailed_reached,
+            clean.nonfailed_reached
+        );
     }
 }

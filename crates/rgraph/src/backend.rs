@@ -9,7 +9,16 @@
 //! `1 − loss`), and measures the giant component of the percolated
 //! graph — the paper's reliability `R(q, P)` (Eq. 4/11) without any
 //! protocol dynamics.
+//!
+//! Static fault families percolate too: a correlated zone failure adds
+//! the killed zones to the crash set (the scheduled `at_ms` collapses
+//! to an at-start kill — a static census has no clock, so this is the
+//! conservative approximation) and an adversary removes its blocked
+//! arcs from the relay digraph. Dynamic families (churn, bursty loss)
+//! have per-event state no snapshot can express; they are declined
+//! with a typed [`ModelError::Unsupported`].
 
+use gossip_faults::{zone_members, BlockedLinks};
 use gossip_model::distribution::FanoutDistribution;
 use gossip_model::loss::LossyGossip;
 use gossip_model::percolation::SitePercolation;
@@ -30,6 +39,9 @@ use crate::reach::reach_from;
 /// keeps its historical 0x6A/0x9C streams untouched).
 const TOPOLOGY_STREAM: u64 = 0x70;
 const RELAY_STREAM: u64 = 0xD1;
+/// Same tag the protocol engine derives its blocked-link set from, so
+/// both layers face the same per-replication adversary.
+const ADVERSARY_STREAM: u64 = 0xAD7E;
 
 /// Keeps each edge independently with probability `1 − loss` — bond
 /// percolation, the graph-level model of message loss.
@@ -66,8 +78,17 @@ impl Backend for GraphBackend {
                 what: "protocol variants (the random-graph layer models the Fig. 1 push algorithm)",
             });
         }
+        if let Some(what) = scenario.faults.first_dynamic_family() {
+            return Err(ModelError::Unsupported {
+                backend: "graph",
+                what,
+            });
+        }
         let dist = scenario.fanout.build()?;
-        if !scenario.topology.is_default() {
+        // Static faults (zone kills, adversarial blocking) need a source
+        // and directed reach, so they ride the structured path even on
+        // the default complete overlay.
+        if !scenario.topology.is_default() || !scenario.faults.is_default() {
             return evaluate_structured(scenario, q, &*dist);
         }
 
@@ -107,6 +128,7 @@ impl Backend for GraphBackend {
             quiescence_secs: None,
             transport: None,
             topology: None,
+            faults: scenario.faults_label(),
             messages_lost: None,
             success_within_t: success::success_probability(reliability, scenario.executions),
         })
@@ -129,9 +151,35 @@ fn evaluate_structured(
 ) -> Result<Report, ModelError> {
     let spec = scenario.topology;
     let n = scenario.n;
+    // A correlated zone failure resolves against the Clustered overlay's
+    // zone count ([`gossip_faults::FaultSpec::validate`] has already
+    // rejected every other overlay). The static census has no clock, so
+    // the scheduled `at_ms` collapses to an at-start kill.
+    let zone_failed: Vec<usize> = scenario
+        .faults
+        .zone_failure
+        .as_ref()
+        .map(|zf| {
+            let zone_count = match spec.overlay {
+                gossip_topology::OverlaySpec::Clustered { zones, .. } => zones,
+                _ => unreachable!("validate() requires a Clustered overlay for zone failures"),
+            };
+            zf.zones
+                .iter()
+                .flat_map(|&zone| zone_members(n, zone_count, zone))
+                .filter(|&member| member != 0)
+                .collect()
+        })
+        .unwrap_or_default();
     let outcomes: Vec<(f64, f64)> = parallel_map(scenario.replications, |rep| {
         let seed = SplitMix64::derive(scenario.seed, rep as u64);
         let overlay = spec.build(n, SplitMix64::derive(seed, TOPOLOGY_STREAM));
+        // Per replication so a `Random` adversary re-rolls its blocked
+        // set each run, exactly like the protocol engine's 0xAD7E draw.
+        let blocked =
+            scenario.faults.adversary.as_ref().map(|adv| {
+                BlockedLinks::build(n, 0, adv, SplitMix64::derive(seed, ADVERSARY_STREAM))
+            });
         let mut rng = Xoshiro256StarStar::new(SplitMix64::derive(seed, RELAY_STREAM));
         let mut arcs: Vec<(u32, u32)> = Vec::new();
         let mut targets = Vec::new();
@@ -139,6 +187,9 @@ fn evaluate_structured(
             let fanout = dist.sample(&mut rng);
             select_targets(&overlay, spec.selection, v, fanout, &mut rng, &mut targets);
             for &t in &targets {
+                if blocked.as_ref().is_some_and(|b| b.blocks(v, t)) {
+                    continue;
+                }
                 if scenario.loss == 0.0 || !rng.next_bool(scenario.loss) {
                     arcs.push((v, t));
                 }
@@ -146,8 +197,14 @@ fn evaluate_structured(
         }
         let digraph = Digraph::from_edges(n, &arcs);
         let mut failed = vec![false; n];
+        for &member in &zone_failed {
+            failed[member] = true;
+        }
+        // Crash draws run for every node — pre-failed or not — so the
+        // RNG stream is identical with and without a zone failure.
         for slot in failed.iter_mut().skip(1) {
-            *slot = !rng.next_bool(q);
+            let crashed = !rng.next_bool(q);
+            *slot = *slot || crashed;
         }
         let out = reach_from(&digraph, &failed, 0);
         let messages = out.messages_sent as f64 / out.nonfailed_total.max(1) as f64;
@@ -201,6 +258,7 @@ fn evaluate_structured(
         quiescence_secs: None,
         transport: None,
         topology: scenario.topology_label(),
+        faults: scenario.faults_label(),
         messages_lost: None,
         success_within_t: success::success_probability(reliability, scenario.executions),
     })
@@ -330,6 +388,107 @@ mod tests {
             lattice.reliability_raw.unwrap() < 0.2,
             "lattice raw reliability {} should collapse",
             lattice.reliability_raw.unwrap()
+        );
+    }
+
+    #[test]
+    fn graph_declines_dynamic_faults() {
+        use gossip_model::{BurstySpec, ChurnSpec, FaultSpec};
+        let churned = headline(500, 3)
+            .with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(5.0, 100)));
+        match GraphBackend.evaluate(&churned) {
+            Err(ModelError::Unsupported { backend, what }) => {
+                assert_eq!(backend, "graph");
+                assert!(what.contains("churn"), "what = {what}");
+            }
+            other => panic!("expected a typed refusal, got {other:?}"),
+        }
+        let bursty = headline(500, 3).with_faults(FaultSpec::none().with_bursty_loss(BurstySpec {
+            p_gb: 0.1,
+            p_bg: 0.4,
+            loss_good: 0.0,
+            loss_bad: 0.8,
+        }));
+        assert!(matches!(
+            GraphBackend.evaluate(&bursty),
+            Err(ModelError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn zone_kill_percolates_as_at_start_crashes() {
+        use gossip_model::FaultSpec;
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        // Kill 2 of 8 zones of a well-connected clustered overlay at
+        // q = 1: the survivors stay one giant component, so raw
+        // reliability sits near the 6/8 survivor fraction under the
+        // alive-at-end denominator... except the graph layer counts
+        // reached/nonfailed, so killing a quarter of the group leaves
+        // r ≈ 1 among survivors but strictly fewer than n reached.
+        let base = Scenario::new(1600, FanoutSpec::poisson(6.0))
+            .with_replications(8)
+            .with_topology(TopologySpec::new(OverlaySpec::Clustered {
+                zones: 8,
+                intra: 4,
+                inter: 2,
+            }));
+        let clean = GraphBackend.evaluate(&base).unwrap();
+        let killed = GraphBackend
+            .evaluate(
+                &base
+                    .clone()
+                    .with_faults(FaultSpec::none().with_zone_failure(vec![1, 5], 3)),
+            )
+            .unwrap();
+        assert!(clean.reliability > 0.95, "clean r = {}", clean.reliability);
+        // Survivors (6 zones + immune source) still reach each other.
+        assert!(
+            killed.reliability > 0.9,
+            "killed-zone conditional r = {}",
+            killed.reliability
+        );
+        assert_eq!(killed.faults.as_deref(), Some("zones([1,5]@3ms)"));
+        // Determinism with the fault active.
+        let again = GraphBackend
+            .evaluate(
+                &base
+                    .clone()
+                    .with_faults(FaultSpec::none().with_zone_failure(vec![1, 5], 3)),
+            )
+            .unwrap();
+        assert_eq!(killed.reliability, again.reliability);
+    }
+
+    #[test]
+    fn worst_case_adversary_cuts_the_source_fan() {
+        use gossip_model::{AdversaryStrategy, FaultSpec};
+        // f = n − 1 blocks every out-arc of the source on the complete
+        // overlay: nothing leaves node 0, raw reliability collapses to
+        // the source alone while the i.i.d.-equivalent loss rate would
+        // predict near-full delivery.
+        let blocked =
+            GraphBackend
+                .evaluate(&headline(400, 6).with_failure_ratio(1.0).with_faults(
+                    FaultSpec::none().with_adversary(399, AdversaryStrategy::WorstCase),
+                ))
+                .unwrap();
+        assert!(
+            blocked.reliability_raw.unwrap() < 0.01,
+            "raw r = {}",
+            blocked.reliability_raw.unwrap()
+        );
+        // A random adversary wasting the same budget barely dents it.
+        let random = GraphBackend
+            .evaluate(
+                &headline(400, 6)
+                    .with_failure_ratio(1.0)
+                    .with_faults(FaultSpec::none().with_adversary(399, AdversaryStrategy::Random)),
+            )
+            .unwrap();
+        assert!(
+            random.reliability_raw.unwrap() > 0.9,
+            "random raw r = {}",
+            random.reliability_raw.unwrap()
         );
     }
 

@@ -12,6 +12,7 @@
 
 use std::time::Duration;
 
+use gossip_faults::GilbertElliott;
 use gossip_model::loss::LossyGossip;
 use gossip_model::percolation::SitePercolation;
 use gossip_model::scenario::{Backend, MembershipSpec, ProtocolSpec, Report, Scenario};
@@ -115,6 +116,12 @@ fn reject_unsupported(scenario: &Scenario, n_cap: Option<usize>) -> Result<(), M
             });
         }
     }
+    if scenario.faults.churn.is_some() && !scenario.topology.is_default() {
+        return Err(ModelError::Unsupported {
+            backend: "runtime",
+            what: "membership churn combined with structured overlays (joiners can only bootstrap into the full view)",
+        });
+    }
     Ok(())
 }
 
@@ -138,6 +145,7 @@ fn evaluate_over<T: Transport>(
         loss: scenario.loss,
         latency: scenario.latency,
         failure: &scenario.failure,
+        faults: &scenario.faults,
         topology: if scenario.topology.is_default() {
             None
         } else {
@@ -170,7 +178,14 @@ fn evaluate_over<T: Transport>(
     let threshold = match scenario.protocol {
         ProtocolSpec::Push => {
             let q = scenario.q().unwrap_or(1.0);
-            let prediction = LossyGossip::new(&*dist, q, scenario.loss)
+            // Fold bursty loss in at its stationary mean — an upper
+            // bound on delivery (burstiness only hurts more), which is
+            // all a take-off threshold needs.
+            let mut loss = scenario.loss;
+            if let Some(bursty) = &scenario.faults.bursty_loss {
+                loss = 1.0 - (1.0 - loss) * (1.0 - GilbertElliott::new(bursty).mean_loss());
+            }
+            let prediction = LossyGossip::new(&*dist, q, loss)
                 .and_then(|m| m.reliability())
                 .unwrap_or(1.0);
             if prediction < 0.05 {
@@ -226,6 +241,7 @@ fn evaluate_over<T: Transport>(
         quiescence_secs: None,
         transport: Some(transport.name().to_string()),
         topology: scenario.topology_label(),
+        faults: scenario.faults_label(),
         messages_lost: Some(lost.mean()),
         success_within_t: success::success_probability(reliability, scenario.executions),
     })
@@ -376,6 +392,117 @@ mod tests {
         assert_eq!(live.transport.as_deref(), Some("tcp"));
         assert_eq!(live.topology.as_deref(), Some("ring(s=96)/neigh"));
         assert_eq!(live.reliability, 1.0);
+    }
+
+    #[test]
+    fn churn_runs_live_and_labels_the_report() {
+        use gossip_model::{ChurnSpec, FaultSpec};
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        // No crashes, q = 1: mid-run churn is the only disturbance. At
+        // these rates ~4 joins and ~4 leaves hit a 200-member group;
+        // reliability stays high because joiners bootstrap into the
+        // view and get gossiped to after their join stamp.
+        let scenario = Scenario::new(200, FanoutSpec::poisson(6.0))
+            .with_replications(6)
+            .with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(20.0, 200)));
+        let live = RuntimeBackend::channel().evaluate(&scenario).unwrap();
+        assert_eq!(
+            live.faults.as_deref(),
+            Some("churn(j=20,l=20,h=200ms)"),
+            "report must carry the fault label"
+        );
+        assert!(live.reliability > 0.8, "churned r = {}", live.reliability);
+        // Churn over a structured overlay is refused: joiners cannot
+        // bootstrap into a neighbour list.
+        let structured = scenario
+            .clone()
+            .with_topology(TopologySpec::new(OverlaySpec::Ring { shortcuts: 200 }));
+        assert!(matches!(
+            RuntimeBackend::channel().evaluate(&structured),
+            Err(ModelError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn zone_kill_at_start_removes_the_zone() {
+        use gossip_model::FaultSpec;
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        // Kill 1 of 4 zones at t = 0 on a clustered overlay: the zone
+        // never participates, and the denominator shrinks to the
+        // survivors (source's zone 0 keeps its immune source).
+        let scenario = Scenario::new(200, FanoutSpec::poisson(6.0))
+            .with_replications(4)
+            .with_topology(TopologySpec::new(OverlaySpec::Clustered {
+                zones: 4,
+                intra: 5,
+                inter: 3,
+            }))
+            .with_faults(FaultSpec::none().with_zone_failure(vec![2], 0));
+        let live = RuntimeBackend::channel().evaluate(&scenario).unwrap();
+        assert_eq!(live.faults.as_deref(), Some("zones([2]@0ms)"));
+        assert!(
+            live.reliability > 0.9,
+            "survivors should still connect, r = {}",
+            live.reliability
+        );
+    }
+
+    #[test]
+    fn bursty_loss_bites_harder_than_its_mean() {
+        use gossip_model::{BurstySpec, FaultSpec};
+        // Long bad bursts at a ~0.25 mean rate: reliability drops below
+        // the clean run; the report carries the channel parameters.
+        let clean = headline(300, 5).with_failure_ratio(1.0);
+        let bursty = clean
+            .clone()
+            .with_faults(FaultSpec::none().with_bursty_loss(BurstySpec {
+                p_gb: 0.05,
+                p_bg: 0.15,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            }));
+        let clean_r = RuntimeBackend::channel().evaluate(&clean).unwrap();
+        let bursty_r = RuntimeBackend::channel().evaluate(&bursty).unwrap();
+        assert!(bursty_r.faults.as_deref().unwrap().starts_with("ge("));
+        assert!(
+            bursty_r.reliability_raw.unwrap() < clean_r.reliability_raw.unwrap(),
+            "bursty {} should undercut clean {}",
+            bursty_r.reliability_raw.unwrap(),
+            clean_r.reliability_raw.unwrap()
+        );
+    }
+
+    #[test]
+    fn worst_case_adversary_blocks_the_live_source() {
+        use gossip_model::{AdversaryStrategy, FaultSpec};
+        // f = n − 1 cuts every uplink of source 0: only the source
+        // delivers, however the threads race.
+        let scenario = headline(100, 3)
+            .with_failure_ratio(1.0)
+            .with_faults(FaultSpec::none().with_adversary(99, AdversaryStrategy::WorstCase));
+        let live = RuntimeBackend::channel().evaluate(&scenario).unwrap();
+        assert_eq!(live.faults.as_deref(), Some("adv(f=99,worst)"));
+        assert!(
+            live.reliability_raw.unwrap() < 0.011,
+            "raw r = {}",
+            live.reliability_raw.unwrap()
+        );
+        assert!(live.messages_lost.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn faults_run_over_tcp_too() {
+        use gossip_model::{ChurnSpec, FaultSpec};
+        let scenario = Scenario::new(64, FanoutSpec::poisson(6.0))
+            .with_replications(2)
+            .with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(15.0, 200)));
+        let live = RuntimeBackend::tcp().evaluate(&scenario).unwrap();
+        assert_eq!(live.transport.as_deref(), Some("tcp"));
+        assert!(
+            live.reliability > 0.7,
+            "tcp churned r = {}",
+            live.reliability
+        );
     }
 
     #[test]

@@ -13,8 +13,20 @@
 //! the actors' own records, and dissemination depth is the BFS depth
 //! over the recorded successful relays (the scheduling-independent
 //! min-hop, not the racy first-arrival hop). The one exception is
-//! scheduled mid-run crashes, where the virtual arrival stamp of the
-//! *first* copy decides survival — documented as best-effort.
+//! anything gated on a message's *virtual arrival stamp* — scheduled
+//! mid-run crashes, churn join gates, and the joined-member target
+//! filter — where the stamp of the physically first copy decides;
+//! documented as best-effort.
+//!
+//! ## Faults
+//!
+//! The [`gossip_faults::FaultSpec`] riding on the scenario injects into
+//! the live run directly: churn adds dormant actors that ignore frames
+//! stamped before their join time (and removes leavers via the crash
+//! schedule), correlated zone failures become scheduled crashes of
+//! whole zones, Gilbert-Elliott bursty loss replaces the i.i.d. loss
+//! draw with a per-sender two-state chain, and an adversary's blocked
+//! links drop matching frames at the sender before any loss draw.
 //!
 //! ## Quiescence
 //!
@@ -26,11 +38,12 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use gossip_faults::{zone_members, BlockedLinks, ChurnPlan, FaultSpec, GeChain, GilbertElliott};
 use gossip_model::distribution::FanoutDistribution;
 use gossip_model::scenario::{FailureSpec, LatencySpec};
 use gossip_model::ModelError;
 use gossip_stats::rng::{SplitMix64, Xoshiro256StarStar};
-use gossip_topology::{select_targets, PeerSelection, Topology, TopologySpec};
+use gossip_topology::{select_targets, OverlaySpec, PeerSelection, Topology, TopologySpec};
 
 use crate::transport::{Endpoint, Fabric, Transport};
 use crate::wire::WireMessage;
@@ -40,12 +53,27 @@ use crate::wire::WireMessage;
 const FAILURE_STREAM: u64 = 0xFA11;
 const NODE_STREAM: u64 = 0x0A_C708; // "ACTOR"
 const TOPOLOGY_STREAM: u64 = 0x7090; // "TOPO"
+/// Same tags the protocol engine uses for its churn plan and blocked
+/// links, so fault draws are comparable across the two layers.
+const CHURN_STREAM: u64 = 0xC4A2;
+const ADVERSARY_STREAM: u64 = 0xAD7E;
 
 /// A structured overlay instantiated for one execution: actors gossip
 /// only along its edges, targets picked by the configured policy.
 struct Overlay {
     topology: Topology,
     selection: PeerSelection,
+}
+
+/// Read-only per-execution context shared by every shard thread: the
+/// overlay (if structured), the adversary's blocked links, the
+/// Gilbert-Elliott channel parameters, and the join schedule indexed by
+/// member id (`None` = no churn, so the hot path pays nothing).
+struct ExecCtx {
+    overlay: Option<Overlay>,
+    blocked: Option<BlockedLinks>,
+    ge: Option<GilbertElliott>,
+    join_at: Option<Vec<Option<u64>>>,
 }
 
 /// Everything one execution needs, borrowed from the backend.
@@ -62,6 +90,8 @@ pub(crate) struct ExecParams<'a> {
     pub latency: LatencySpec,
     /// Failure model.
     pub failure: &'a FailureSpec,
+    /// Fault families injected on top of the failure model.
+    pub faults: &'a FaultSpec,
     /// Structured overlay to gossip over (`None` = complete graph with
     /// uniform selection, the paper's baseline). Rebuilt per execution
     /// from the execution seed so overlays resample across replications.
@@ -135,18 +165,38 @@ struct Actor {
     rng: Xoshiro256StarStar,
     /// Virtual time this node crashes at (`None` = stays up).
     crash_at_ns: Option<u64>,
+    /// Virtual time this node joins at (`None` = initial member).
+    join_at_ns: Option<u64>,
+    /// This node's uplink state of the Gilbert-Elliott channel (`None`
+    /// = i.i.d. loss). One chain per sender: consecutive transmissions
+    /// share the burst, which is the whole point of the model.
+    chain: Option<GeChain>,
     delivered: bool,
     edges: Vec<Edge>,
 }
 
 impl Actor {
-    fn new(id: u32, n: usize, exec_seed: u64, crash_at_ns: Option<u64>) -> Self {
+    fn new(
+        id: u32,
+        total: usize,
+        exec_seed: u64,
+        crash_at_ns: Option<u64>,
+        join_at_ns: Option<u64>,
+        ge: Option<&GilbertElliott>,
+    ) -> Self {
         let node_seed = SplitMix64::derive(SplitMix64::derive(exec_seed, NODE_STREAM), id as u64);
+        let mut rng = Xoshiro256StarStar::new(node_seed);
+        // The chain starts from a stationary draw so short executions
+        // see the long-run loss mix (drawn only when bursty loss is on,
+        // keeping the fault-free rng stream untouched).
+        let chain = ge.map(|ge| GeChain::start(ge, &mut rng));
         Actor {
             id,
-            n: n as u32,
-            rng: Xoshiro256StarStar::new(node_seed),
+            n: total as u32,
+            rng,
             crash_at_ns,
+            join_at_ns,
+            chain,
             delivered: false,
             edges: Vec::new(),
         }
@@ -157,12 +207,12 @@ impl Actor {
     /// peer-selection policy over the neighbour list on an overlay —
     /// and relay; duplicates are discarded. Returns the relays that
     /// survived sender-side loss injection.
-    fn handle(
-        &mut self,
-        msg: &WireMessage,
-        p: &ExecParams<'_>,
-        overlay: Option<&Overlay>,
-    ) -> Vec<Relay> {
+    fn handle(&mut self, msg: &WireMessage, p: &ExecParams<'_>, ctx: &ExecCtx) -> Vec<Relay> {
+        if let Some(join_at) = self.join_at_ns {
+            if msg.arrival_virtual_ns < join_at {
+                return Vec::new(); // arrived before this process joined
+            }
+        }
         if let Some(crash_at) = self.crash_at_ns {
             if msg.arrival_virtual_ns >= crash_at {
                 return Vec::new(); // arrived at a crashed process
@@ -172,7 +222,7 @@ impl Actor {
             return Vec::new(); // duplicate receipt: discard (Fig. 1)
         }
         self.delivered = true;
-        let targets = match overlay {
+        let targets = match &ctx.overlay {
             Some(ov) if p.flood => ov.topology.neighbors(self.id).to_vec(),
             Some(ov) => {
                 let fanout = p.dist.sample(&mut self.rng);
@@ -193,12 +243,26 @@ impl Actor {
                 } else {
                     p.dist.sample(&mut self.rng)
                 };
-                self.pick_targets(fanout)
+                match &ctx.join_at {
+                    Some(join_at) => {
+                        self.pick_joined_targets(fanout, join_at, msg.arrival_virtual_ns)
+                    }
+                    None => self.pick_targets(fanout),
+                }
             }
         };
         let mut relays = Vec::with_capacity(targets.len());
         for to in targets {
-            let lost = self.rng.next_f64() < p.loss;
+            // The adversary's verdict comes first and skips the loss
+            // draw entirely, so blocking links never perturbs the
+            // chain/rng stream of the surviving ones.
+            let lost = if ctx.blocked.as_ref().is_some_and(|b| b.blocks(self.id, to)) {
+                true
+            } else if let (Some(ge), Some(chain)) = (&ctx.ge, &mut self.chain) {
+                chain.transmit(ge, &mut self.rng)
+            } else {
+                self.rng.next_f64() < p.loss
+            };
             let latency_ns = draw_latency_ns(&mut self.rng, p.latency);
             let edge_idx = self.edges.len();
             self.edges.push(Edge { to, lost });
@@ -237,6 +301,28 @@ impl Actor {
         }
         chosen
     }
+
+    /// The churn-aware analogue of [`Actor::pick_targets`]: `f`
+    /// distinct uniform members among those already joined at the
+    /// sender's virtual time `now_ns` (everyone eligible when `f`
+    /// exceeds that view). Mirrors the netsim `DynamicView`: gossip
+    /// never targets a member that has not joined yet.
+    fn pick_joined_targets(&mut self, f: usize, join_at: &[Option<u64>], now_ns: u64) -> Vec<u32> {
+        let joined: Vec<u32> = (0..self.n)
+            .filter(|&v| v != self.id && join_at[v as usize].is_none_or(|t| t <= now_ns))
+            .collect();
+        if f >= joined.len() {
+            return joined;
+        }
+        let mut chosen: Vec<u32> = Vec::with_capacity(f);
+        while chosen.len() < f {
+            let v = joined[self.rng.next_below(joined.len() as u64) as usize];
+            if !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        chosen
+    }
 }
 
 /// Draws one edge latency in virtual nanoseconds.
@@ -256,14 +342,24 @@ fn draw_latency_ns(rng: &mut Xoshiro256StarStar, spec: LatencySpec) -> u64 {
 }
 
 /// The group's failure layout for one execution: who starts alive, who
-/// crashes when, and who counts in the reliability denominator.
+/// crashes when, who joins when, and who counts in the reliability
+/// denominator. Vectors are sized `n` plus this execution's churn
+/// joiners (ids `n..`).
 struct FailureLayout {
     alive: Vec<bool>,
     crash_at_ns: Vec<Option<u64>>,
+    join_at_ns: Vec<Option<u64>>,
     counted: Vec<bool>,
 }
 
-fn failure_layout(n: usize, source: u32, failure: &FailureSpec, exec_seed: u64) -> FailureLayout {
+fn failure_layout(
+    n: usize,
+    source: u32,
+    failure: &FailureSpec,
+    faults: &FaultSpec,
+    topology: Option<&TopologySpec>,
+    exec_seed: u64,
+) -> FailureLayout {
     let mut alive = vec![true; n];
     let mut crash_at_ns: Vec<Option<u64>> = vec![None; n];
     let mut counted = vec![true; n];
@@ -296,9 +392,61 @@ fn failure_layout(n: usize, source: u32, failure: &FailureSpec, exec_seed: u64) 
             }
         }
     }
+    // A correlated zone failure is a scheduled crash of every member of
+    // the killed zones (source immune), resolved against the Clustered
+    // overlay's zone count. Applied before churn so zones index the
+    // initial membership only.
+    if let Some(zf) = &faults.zone_failure {
+        let zone_count = match topology.map(|spec| spec.overlay) {
+            Some(OverlaySpec::Clustered { zones, .. }) => zones,
+            _ => unreachable!("validate() requires a Clustered overlay for zone failures"),
+        };
+        const NS_PER_MS: u64 = 1_000_000;
+        for &zone in &zf.zones {
+            for member in zone_members(n, zone_count, zone) {
+                if member as u32 == source {
+                    continue;
+                }
+                counted[member] = false;
+                if zf.at_ms == 0 {
+                    alive[member] = false;
+                } else {
+                    let t_ns = zf.at_ms * NS_PER_MS;
+                    crash_at_ns[member] =
+                        Some(crash_at_ns[member].map_or(t_ns, |existing| existing.min(t_ns)));
+                }
+            }
+        }
+    }
+    // Churn: joiners extend the group (alive from the start so they
+    // hold an endpoint, gated on their join stamp by the actor; they
+    // count in the denominator — alive at end); leavers become
+    // scheduled crashes and leave the denominator.
+    let mut join_at_ns: Vec<Option<u64>> = vec![None; n];
+    if let Some(churn) = &faults.churn {
+        let plan = ChurnPlan::sample(
+            churn,
+            n,
+            source,
+            SplitMix64::derive(exec_seed, CHURN_STREAM),
+        );
+        for &(at_ns, id) in &plan.joins {
+            debug_assert_eq!(id as usize, alive.len(), "joiner ids are dense above n");
+            alive.push(true);
+            crash_at_ns.push(None);
+            counted.push(true);
+            join_at_ns.push(Some(at_ns));
+        }
+        for &(at_ns, member) in &plan.leaves {
+            let i = member as usize;
+            counted[i] = false;
+            crash_at_ns[i] = Some(crash_at_ns[i].map_or(at_ns, |existing| existing.min(at_ns)));
+        }
+    }
     FailureLayout {
         alive,
         crash_at_ns,
+        join_at_ns,
         counted,
     }
 }
@@ -310,10 +458,10 @@ fn process<E: Endpoint>(
     ep: &mut E,
     msg: &WireMessage,
     p: &ExecParams<'_>,
-    overlay: Option<&Overlay>,
+    ctx: &ExecCtx,
     fabric: &Fabric,
 ) {
-    let relays = actor.handle(msg, p, overlay);
+    let relays = actor.handle(msg, p, ctx);
     for relay in relays {
         if !ep.send(relay.to, &relay.msg) {
             // Peer unreachable: the relay died in transit.
@@ -328,7 +476,7 @@ fn process<E: Endpoint>(
 fn shard_loop<E: Endpoint>(
     mut group: Vec<(Actor, E)>,
     p: &ExecParams<'_>,
-    overlay: Option<&Overlay>,
+    ctx: &ExecCtx,
     fabric: &Fabric,
     epoch: Instant,
 ) -> Vec<Actor> {
@@ -347,7 +495,7 @@ fn shard_loop<E: Endpoint>(
                         continue;
                     }
                 }
-                process(actor, ep, &msg, p, overlay, fabric);
+                process(actor, ep, &msg, p, ctx, fabric);
                 progressed = true;
             }
         }
@@ -357,7 +505,7 @@ fn shard_loop<E: Endpoint>(
             if held[i].1 <= now {
                 let (idx, _, msg) = held.swap_remove(i);
                 let (actor, ep) = &mut group[idx];
-                process(actor, ep, &msg, p, overlay, fabric);
+                process(actor, ep, &msg, p, ctx, fabric);
                 progressed = true;
             } else {
                 i += 1;
@@ -413,7 +561,9 @@ where
         topology: spec.build(p.n, SplitMix64::derive(exec_seed, TOPOLOGY_STREAM)),
         selection: spec.selection,
     });
-    let layout = failure_layout(p.n, p.source, p.failure, exec_seed);
+    let layout = failure_layout(p.n, p.source, p.failure, p.faults, p.topology, exec_seed);
+    // Churn joiners extend the group beyond `p.n` for this execution.
+    let total = layout.alive.len();
     let nonfailed = layout.counted.iter().filter(|&&c| c).count();
     if !layout.alive[p.source as usize] {
         // The source itself is scheduled dead at start: nothing spreads.
@@ -426,16 +576,36 @@ where
             timed_out: false,
         });
     }
+    let ctx = ExecCtx {
+        overlay,
+        blocked: p.faults.adversary.as_ref().map(|adv| {
+            BlockedLinks::build(
+                total,
+                p.source,
+                adv,
+                SplitMix64::derive(exec_seed, ADVERSARY_STREAM),
+            )
+        }),
+        ge: p.faults.bursty_loss.as_ref().map(GilbertElliott::new),
+        join_at: p.faults.churn.is_some().then(|| layout.join_at_ns.clone()),
+    };
 
     let fabric = Fabric::new();
-    let mut endpoints = transport.open(p.n, &layout.alive, &fabric)?;
+    let mut endpoints = transport.open(total, &layout.alive, &fabric)?;
 
     // Pair every alive member with its actor and inject at the source.
-    let mut pairs: Vec<(Actor, T::Endpoint)> = Vec::with_capacity(p.n);
+    let mut pairs: Vec<(Actor, T::Endpoint)> = Vec::with_capacity(total);
     for (id, slot) in endpoints.iter_mut().enumerate() {
         if let Some(ep) = slot.take() {
             pairs.push((
-                Actor::new(id as u32, p.n, exec_seed, layout.crash_at_ns[id]),
+                Actor::new(
+                    id as u32,
+                    total,
+                    exec_seed,
+                    layout.crash_at_ns[id],
+                    layout.join_at_ns[id],
+                    ctx.ge.as_ref(),
+                ),
                 ep,
             ));
         }
@@ -460,11 +630,11 @@ where
     }
     let epoch = Instant::now();
     let fabric_ref: &Arc<Fabric> = &fabric;
-    let overlay_ref = overlay.as_ref();
+    let ctx_ref = &ctx;
     let actors: Vec<Actor> = crossbeam::scope(|scope| {
         let handles: Vec<_> = groups
             .into_iter()
-            .map(|group| scope.spawn(move |_| shard_loop(group, p, overlay_ref, fabric_ref, epoch)))
+            .map(|group| scope.spawn(move |_| shard_loop(group, p, ctx_ref, fabric_ref, epoch)))
             .collect();
         handles
             .into_iter()
@@ -474,8 +644,8 @@ where
     .expect("runtime scope");
 
     // Assemble the outcome from the actors' own records.
-    let mut delivered = vec![false; p.n];
-    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); p.n];
+    let mut delivered = vec![false; total];
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); total];
     let mut messages_sent = 1u64; // the injection
     let mut messages_lost = 0u64;
     for actor in &actors {
@@ -489,7 +659,7 @@ where
             }
         }
     }
-    let nonfailed_reached = (0..p.n)
+    let nonfailed_reached = (0..total)
         .filter(|&i| layout.counted[i] && delivered[i])
         .count();
     Ok(ExecOutcome {
@@ -497,7 +667,7 @@ where
         nonfailed_reached,
         messages_sent,
         messages_lost,
-        depth: bfs_depth(p.n, p.source, &delivered, &adjacency),
+        depth: bfs_depth(total, p.source, &delivered, &adjacency),
         timed_out: fabric.timed_out(),
     })
 }

@@ -51,7 +51,10 @@ pub use gossip_model::scenario::{
     AnalyticBackend, Backend, FailureSpec, FanoutSpec, LatencySpec, MembershipSpec, ProtocolSpec,
     Report, RuntimeSpec, Scenario, SweepCell, SweepGrid,
 };
-pub use gossip_model::{FanoutDistribution, Gossip, ModelError};
+pub use gossip_model::{
+    AdversarySpec, AdversaryStrategy, BurstySpec, ChurnSpec, FanoutDistribution, FaultSpec, Gossip,
+    ModelError, ZoneFailureSpec,
+};
 pub use gossip_protocol::{NetSimBackend, ProtocolBackend};
 pub use gossip_rgraph::GraphBackend;
 pub use gossip_runtime::RuntimeBackend;

@@ -245,6 +245,111 @@ fn scenario_serde_roundtrip() {
 }
 
 #[test]
+fn churn_agrees_across_the_dynamic_backends() {
+    use gossip::{ChurnSpec, FaultSpec, NetSimBackend, ProtocolBackend, RuntimeBackend};
+    // Symmetric churn at 30 members/s over a 200 ms horizon: ~6 joins
+    // and ~6 leaves against n = 600. Every backend with an event clock
+    // — protocol, netsim, runtime — must price the same penalty
+    // (joiners arriving after quiescence count in the denominator but
+    // go unreached); the static layers must decline with a typed error.
+    let scenario = Scenario::new(600, FanoutSpec::poisson(6.0))
+        .with_failure_ratio(0.9)
+        .with_replications(20)
+        .with_seed(0xC4A2)
+        .with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(30.0, 200)));
+
+    let protocol = ProtocolBackend
+        .evaluate(&scenario)
+        .expect("protocol runs churn");
+    let netsim = NetSimBackend
+        .evaluate(&scenario)
+        .expect("netsim runs churn");
+    let runtime = RuntimeBackend::channel()
+        .evaluate(&scenario)
+        .expect("runtime runs churn");
+    for report in [&protocol, &netsim, &runtime] {
+        assert_eq!(
+            report.faults.as_deref(),
+            Some("churn(j=30,l=30,h=200ms)"),
+            "{} must label the churn it ran under",
+            report.backend
+        );
+        assert_close(
+            report.reliability,
+            protocol.reliability,
+            0.05,
+            &format!("{} vs protocol under churn", report.backend),
+        );
+    }
+
+    // The percolation census and the generating functions have no
+    // clock: both must refuse, each naming itself.
+    match gossip::GraphBackend.evaluate(&scenario) {
+        Err(gossip::ModelError::Unsupported { backend, what }) => {
+            assert_eq!(backend, "graph");
+            assert!(
+                what.contains("churn"),
+                "graph refusal must name churn: {what}"
+            );
+        }
+        other => panic!("graph must refuse churn, got {other:?}"),
+    }
+    match AnalyticBackend.evaluate(&scenario) {
+        Err(gossip::ModelError::Unsupported { backend, .. }) => assert_eq!(backend, "analytic"),
+        other => panic!("analytic must refuse churn, got {other:?}"),
+    }
+}
+
+#[test]
+fn correlated_zone_failure_agrees_across_supporting_backends() {
+    use gossip::{FaultSpec, NetSimBackend, ProtocolBackend, RuntimeBackend};
+    // Kill zone 3 of a 6-zone clustered overlay at t = 0: a sixth of
+    // the group is gone before the first relay, every backend that can
+    // run the overlay (graph percolates it at-start; protocol, netsim
+    // and runtime schedule the crashes) measures the survivors.
+    let scenario = Scenario::new(600, FanoutSpec::poisson(6.0))
+        .with_failure_ratio(0.9)
+        .with_replications(20)
+        .with_seed(0x2035)
+        .with_topology(TopologySpec::new(OverlaySpec::Clustered {
+            zones: 6,
+            intra: 5,
+            inter: 2,
+        }))
+        .with_faults(FaultSpec::none().with_zone_failure(vec![3], 0));
+
+    let graph = gossip::GraphBackend
+        .evaluate(&scenario)
+        .expect("graph percolates zones");
+    let protocol = ProtocolBackend
+        .evaluate(&scenario)
+        .expect("protocol runs zones");
+    let netsim = NetSimBackend
+        .evaluate(&scenario)
+        .expect("netsim runs zones");
+    let runtime = RuntimeBackend::channel()
+        .evaluate(&scenario)
+        .expect("runtime runs zones");
+    for report in [&graph, &protocol, &netsim, &runtime] {
+        assert_eq!(report.faults.as_deref(), Some("zones([3]@0ms)"));
+        assert_close(
+            report.reliability,
+            graph.reliability,
+            0.05,
+            &format!("{} vs graph under a zone kill", report.backend),
+        );
+    }
+
+    // On a non-clustered overlay the fault is a parameter error, not a
+    // capability gap: validation rejects it before any backend runs.
+    let wrong = scenario.clone().with_topology(TopologySpec::default());
+    assert!(matches!(
+        gossip::GraphBackend.evaluate(&wrong),
+        Err(gossip::ModelError::InvalidParameter { .. })
+    ));
+}
+
+#[test]
 fn unsupported_combinations_error_cleanly() {
     // A scheduled-crash scenario: only the timed layers (netsim and
     // the live runtime, via its virtual clock) run it; the untimed
