@@ -1,0 +1,62 @@
+//! Criterion benches pitting the flat struct-of-arrays engine against
+//! the classic per-replication-allocation paths on the same scenarios.
+//! Future PRs touching the hot loops (bitset frontiers, the alias
+//! sampler, stub-pair percolation, arena reuse) measure against these
+//! baselines; the committed `BENCH_scaling.json` holds the wall-clock
+//! numbers at n = 10⁶/10⁷ that criterion's sample sizes cannot reach.
+//!
+//! Pinned baselines (container CI class machine, Po(4), q = 0.9,
+//! 4 replications per iteration):
+//!
+//! | bench                     | classic     | flat        | speedup |
+//! |---------------------------|-------------|-------------|---------|
+//! | graph, n = 20 000         | 16.5 ms     |  5.3 ms     | 3.1×    |
+//! | graph, n = 100 000        | 68.7 ms     | 25.2 ms     | 2.7×    |
+//! | protocol, n = 20 000      | 55.0 ms     |  4.3 ms     | 12.8×   |
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_model::scenario::{Backend, EngineSpec, FanoutSpec, Scenario};
+use gossip_protocol::ProtocolBackend;
+use gossip_rgraph::GraphBackend;
+
+/// The headline operating point at a size where both engines finish a
+/// criterion sample quickly: Po(4), q = 0.9, a handful of replications.
+fn headline(n: usize, engine: EngineSpec) -> Scenario {
+    Scenario::new(n, FanoutSpec::poisson(4.0))
+        .with_failure_ratio(0.9)
+        .with_replications(4)
+        .with_seed(0xF1A7)
+        .with_engine(engine)
+}
+
+fn bench_graph_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_engine/graph");
+    group.sample_size(10);
+    for &n in &[20_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64 * 4));
+        for (label, engine) in [("classic", EngineSpec::Classic), ("flat", EngineSpec::Flat)] {
+            let scenario = headline(n, engine);
+            group.bench_with_input(BenchmarkId::new(label, n), &scenario, |b, scenario| {
+                b.iter(|| GraphBackend.evaluate(black_box(scenario)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_protocol_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_engine/protocol");
+    group.sample_size(10);
+    let n = 20_000;
+    group.throughput(Throughput::Elements(n as u64 * 4));
+    for (label, engine) in [("classic", EngineSpec::Classic), ("flat", EngineSpec::Flat)] {
+        let scenario = headline(n, engine);
+        group.bench_with_input(BenchmarkId::new(label, n), &scenario, |b, scenario| {
+            b.iter(|| ProtocolBackend.evaluate(black_box(scenario)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_engines, bench_protocol_engines);
+criterion_main!(benches);

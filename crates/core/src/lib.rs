@@ -136,8 +136,8 @@ pub use gossip_topology::{OverlaySpec, PeerSelection, TopologySpec};
 pub use model::Gossip;
 pub use percolation::SitePercolation;
 pub use scenario::{
-    AnalyticBackend, Backend, FailureSpec, FanoutSpec, LatencySpec, MembershipSpec, ProtocolSpec,
-    Report, Scenario, SweepCell, SweepGrid,
+    AnalyticBackend, Backend, EngineSpec, FailureSpec, FanoutSpec, LatencySpec, MembershipSpec,
+    ProtocolSpec, Report, Scenario, SweepCell, SweepGrid,
 };
 
 /// Default truncation/convergence tolerance used across the crate.

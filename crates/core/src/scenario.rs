@@ -409,6 +409,46 @@ pub struct RuntimeSpec {
     pub pacing_micros_per_milli: u64,
 }
 
+/// Group size at which [`EngineSpec::Auto`] switches the Monte-Carlo
+/// backends onto the flat struct-of-arrays engine. Below it the classic
+/// per-node paths run (byte-identical Reports with prior releases);
+/// at or above it the per-replication allocation cost of the classic
+/// paths dominates wall-clock and the flat engine takes over.
+pub const FLAT_ENGINE_AUTO_THRESHOLD: usize = 65_536;
+
+/// Which Monte-Carlo evaluation engine the simulation backends use.
+///
+/// The flat engine keeps all per-replication state in struct-of-arrays
+/// form — u64-word bitset frontiers, one shared overlay CSR, alias-table
+/// fanout draws, arena-reused scratch — and is the only way to evaluate
+/// Fig. 4 curves at n = 10⁶⁺ in seconds. It draws from its own seed
+/// streams, so its Reports agree with the classic engines statistically
+/// (within Monte-Carlo tolerance) rather than bit-for-bit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineSpec {
+    /// Classic below [`FLAT_ENGINE_AUTO_THRESHOLD`] members, flat at or
+    /// above it (the default).
+    #[default]
+    Auto,
+    /// Always the classic per-node engines, at any size.
+    Classic,
+    /// Always the flat engine; backends that cannot honor it (the
+    /// event-driven simulator, the live runtime) refuse with a typed
+    /// `Unsupported` error instead of silently falling back.
+    Flat,
+}
+
+impl EngineSpec {
+    /// Whether a group of `n` members should run on the flat engine.
+    pub fn flat_for(self, n: usize) -> bool {
+        match self {
+            EngineSpec::Auto => n >= FLAT_ENGINE_AUTO_THRESHOLD,
+            EngineSpec::Classic => false,
+            EngineSpec::Flat => true,
+        }
+    }
+}
+
 /// A declarative description of one evaluation: *what* to gossip-model,
 /// independent of *which layer* evaluates it.
 ///
@@ -441,6 +481,10 @@ pub struct Scenario {
     pub protocol: ProtocolSpec,
     /// Live-runtime execution knobs (thread cap, latency pacing).
     pub runtime: RuntimeSpec,
+    /// Monte-Carlo engine choice (default: [`EngineSpec::Auto`] —
+    /// classic per-node paths at small `n`, flat struct-of-arrays above
+    /// [`FLAT_ENGINE_AUTO_THRESHOLD`]).
+    pub engine: EngineSpec,
     /// Monte-Carlo replications for simulation backends (paper: 20).
     pub replications: usize,
     /// Execution count `t` for the success-of-gossiping calculus
@@ -466,6 +510,7 @@ impl Scenario {
             faults: FaultSpec::default(),
             protocol: ProtocolSpec::Push,
             runtime: RuntimeSpec::default(),
+            engine: EngineSpec::default(),
             replications: 20,
             executions: 1,
             seed: 0x1CC_2008, // "ICPP 2008"
@@ -526,6 +571,12 @@ impl Scenario {
         self
     }
 
+    /// Sets the Monte-Carlo engine choice.
+    pub fn with_engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Sets the Monte-Carlo replication count.
     pub fn with_replications(mut self, replications: usize) -> Self {
         self.replications = replications;
@@ -577,6 +628,16 @@ impl Scenario {
                 name: "n",
                 value: self.n as f64,
                 requirement: "group must have at least 2 members",
+            });
+        }
+        // Node ids are u32 throughout the simulation layers (CSR
+        // adjacency, stub lists, bitset frontiers); a group that cannot
+        // index as u32 must be refused here, not narrowed silently.
+        if self.n > u32::MAX as usize {
+            return Err(ModelError::InvalidParameter {
+                name: "n",
+                value: self.n as f64,
+                requirement: "group size must fit a u32 node id (n <= 2^32 - 1)",
             });
         }
         self.fanout.validate()?;

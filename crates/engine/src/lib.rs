@@ -1,0 +1,64 @@
+//! # gossip-engine
+//!
+//! Flat struct-of-arrays Monte-Carlo kernels for the million-node
+//! regime (ROADMAP: "Million-node epidemic engine").
+//!
+//! The classic evaluation layers carry per-node structs, per-round
+//! `Vec` allocations, and (for the protocol engine) a full event queue;
+//! all of that is O(n) allocator traffic *per replication*, which is
+//! what keeps the Fig. 4 curve stuck at n ≈ 10³–10⁴. This crate holds
+//! the shared machinery the backends swap in above a size threshold
+//! (or when a scenario sets `EngineSpec::Flat`):
+//!
+//! * [`bitset`] — u64-word bitsets for the infected/failed/reached
+//!   sets. One cache line covers 512 members; membership tests are a
+//!   shift and a mask, and population counts reduce whole words at a
+//!   time.
+//! * [`sampler`] — batched fanout draws through the `gossip_stats`
+//!   alias table: the distribution's pmf is tabulated once per
+//!   evaluation and every subsequent draw is two RNG calls, replacing
+//!   per-draw inverse-CDF loops.
+//! * [`relay`] — the push-relay kernel. Instead of materializing the
+//!   Fig. 1 relay digraph and BFS-ing it (two CSR builds per
+//!   replication on the classic structured path), the kernel draws
+//!   each member's fanout and targets *lazily at first receipt*:
+//!   distributionally identical (draws are independent and each member
+//!   is expanded at most once), and the only adjacency ever touched is
+//!   the `gossip-topology` overlay CSR, built once per evaluation and
+//!   threaded through every replication read-only. All per-replication
+//!   state lives in a [`relay::RelayScratch`] arena that is reset —
+//!   never reallocated — between replications, extending the
+//!   `UnionFind::reset` pattern to the whole hot loop.
+//!
+//! The crate exposes kernels, not backends: `gossip-rgraph` and
+//! `gossip-protocol` wrap them behind the unchanged
+//! `Scenario` → `Backend` → `Report` API.
+
+pub mod bitset;
+pub mod relay;
+pub mod sampler;
+
+pub use bitset::BitSet;
+pub use relay::{RelayOutcome, RelayScratch, RelaySetup};
+pub use sampler::FanoutSampler;
+
+/// Seed-stream tag for the flat engine's single per-replication RNG.
+/// Distinct from every classic stream (0x6A, 0x9C, 0x70, 0xD1, …), so
+/// flat and classic runs of the same scenario are independent samples.
+pub const FLAT_STREAM: u64 = 0xF1A7;
+
+/// Seed-stream tag for the overlay CSR a flat evaluation builds once
+/// and shares across all replications.
+pub const FLAT_TOPOLOGY_STREAM: u64 = 0xF170;
+
+/// Splits `reps` replications into at most 64 contiguous chunks so each
+/// worker sweeps many replications through ONE scratch arena (allocate
+/// once, reset per replication) while `parallel_map` still
+/// load-balances. Chunk boundaries never affect results: every
+/// replication's RNG derives from its own global index.
+pub fn chunk_bounds(reps: usize) -> (usize, impl Fn(usize) -> std::ops::Range<usize>) {
+    let chunks = reps.min(64);
+    (chunks, move |chunk| {
+        (chunk * reps / chunks)..((chunk + 1) * reps / chunks)
+    })
+}

@@ -1,0 +1,355 @@
+//! The flat push-relay kernel.
+//!
+//! One replication of the paper's Fig. 1 relay process: the source
+//! pushes to `F ~ dist` members, every first-time receiver pushes to
+//! its own `F` members, crashed members absorb without forwarding, and
+//! lossy links drop each copy independently. The classic structured
+//! path materializes this as a per-replication relay digraph (a CSR
+//! build) and then BFS-es it; this kernel instead draws each member's
+//! fanout and targets *lazily at first expansion*. The two are
+//! distributionally identical — every member is expanded at most once
+//! and all draws are independent — but the lazy form never touches
+//! members the epidemic misses and never builds per-replication
+//! adjacency at all.
+//!
+//! All state is struct-of-arrays in a [`RelayScratch`] arena: two
+//! bitsets (failed, reached) plus three `u32` vectors (current
+//! frontier, next frontier, target buffer). `RelayScratch::reset`
+//! clears without freeing, so an evaluation allocates once and sweeps
+//! thousands of replications through the same buffers.
+
+use gossip_faults::adversary::BlockedLinks;
+use gossip_model::distribution::FanoutDistribution;
+use gossip_stats::rng::Xoshiro256StarStar;
+use gossip_topology::{PeerSelection, Topology};
+
+use crate::bitset::BitSet;
+use crate::sampler::FanoutSampler;
+
+/// Arena of per-replication state, reset — never reallocated — between
+/// replications (the `UnionFind::reset` pattern applied to the whole
+/// hot loop).
+#[derive(Debug)]
+pub struct RelayScratch {
+    failed: BitSet,
+    reached: BitSet,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl RelayScratch {
+    /// Buffers for a group of `n` members.
+    pub fn new(n: usize) -> Self {
+        RelayScratch {
+            failed: BitSet::new(n),
+            reached: BitSet::new(n),
+            frontier: Vec::new(),
+            next: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Universe size the buffers were sized for.
+    pub fn capacity(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// Clears every buffer in place.
+    pub fn reset(&mut self) {
+        self.failed.clear();
+        self.reached.clear();
+        self.frontier.clear();
+        self.next.clear();
+        self.targets.clear();
+    }
+}
+
+/// Tallies from one replication.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RelayOutcome {
+    /// Members that neither crashed nor were pre-failed.
+    pub nonfailed: usize,
+    /// Nonfailed members the rumor reached (source included).
+    pub nonfailed_reached: usize,
+    /// Copies delivered (post-blocking, post-loss).
+    pub messages_sent: u64,
+    /// Hop count of the deepest first-time receipt.
+    pub max_hop: u32,
+}
+
+impl RelayOutcome {
+    /// Paper reliability R = n_rece / n_nonfailed (Eq. 2 denominator
+    /// excludes crashed members).
+    pub fn reliability(&self) -> f64 {
+        if self.nonfailed == 0 {
+            0.0
+        } else {
+            self.nonfailed_reached as f64 / self.nonfailed as f64
+        }
+    }
+}
+
+/// One replication's immutable configuration. Everything borrowed here
+/// is shared read-only across replications (and across worker threads):
+/// the overlay CSR, the alias table, the blocked-link set, the
+/// pre-failed list.
+#[derive(Clone, Copy)]
+pub struct RelaySetup<'a> {
+    /// Group size.
+    pub n: usize,
+    /// Rumor origin (never crashes).
+    pub source: u32,
+    /// Per-member survival probability (crash draws skipped when ≥ 1).
+    pub q: f64,
+    /// Per-copy independent loss probability.
+    pub loss: f64,
+    /// Fanout law F.
+    pub dist: &'a dyn FanoutDistribution,
+    /// Alias-table draws for F.
+    pub sampler: &'a FanoutSampler,
+    /// `None` ⇒ complete overlay (uniform member selection, never
+    /// materialized); `Some` ⇒ structured overlay + selection policy.
+    pub overlay: Option<(&'a Topology, PeerSelection)>,
+    /// Adversarially blocked links, consulted before the loss draw.
+    pub blocked: Option<&'a BlockedLinks>,
+    /// Members failed before the push starts (zone failures). The
+    /// source is skipped if listed.
+    pub prefailed: &'a [u32],
+}
+
+impl<'a> RelaySetup<'a> {
+    /// Runs one replication through `scratch` using `rng`.
+    pub fn run(&self, scratch: &mut RelayScratch, rng: &mut Xoshiro256StarStar) -> RelayOutcome {
+        debug_assert_eq!(scratch.capacity(), self.n);
+        scratch.reset();
+
+        for &node in self.prefailed {
+            if node != self.source {
+                scratch.failed.set(node as usize);
+            }
+        }
+        if self.q < 1.0 {
+            for node in 0..self.n {
+                if node as u32 != self.source && !rng.next_bool(self.q) {
+                    scratch.failed.set(node);
+                }
+            }
+        }
+
+        scratch.reached.set(self.source as usize);
+        scratch.frontier.push(self.source);
+
+        let mut messages_sent = 0u64;
+        let mut max_hop = 0u32;
+        let mut hop = 0u32;
+        while !scratch.frontier.is_empty() {
+            hop += 1;
+            // Split borrows: the frontier is drained while targets/next
+            // are filled, so take it out of the arena for the level.
+            let mut frontier = std::mem::take(&mut scratch.frontier);
+            for &v in &frontier {
+                if scratch.failed.get(v as usize) {
+                    continue; // crashed members absorb, never forward
+                }
+                let fanout = self.sampler.sample(self.dist, rng);
+                match self.overlay {
+                    None => {
+                        // Complete overlay: uniform distinct members by
+                        // rejection — the K(n−1) neighbour lists are
+                        // never built.
+                        let fanout = fanout.min(self.n - 1);
+                        scratch.targets.clear();
+                        while scratch.targets.len() < fanout {
+                            let t = rng.next_below(self.n as u64) as u32;
+                            if t != v && !scratch.targets.contains(&t) {
+                                scratch.targets.push(t);
+                            }
+                        }
+                    }
+                    Some((topo, policy)) => {
+                        gossip_topology::select_targets(
+                            topo,
+                            policy,
+                            v,
+                            fanout,
+                            rng,
+                            &mut scratch.targets,
+                        );
+                    }
+                }
+                for &t in &scratch.targets {
+                    if let Some(blocked) = self.blocked {
+                        if blocked.blocks(v, t) {
+                            continue;
+                        }
+                    }
+                    if self.loss > 0.0 && rng.next_bool(self.loss) {
+                        continue;
+                    }
+                    messages_sent += 1;
+                    if scratch.reached.insert(t as usize) {
+                        scratch.next.push(t);
+                        max_hop = hop;
+                    }
+                }
+            }
+            frontier.clear();
+            scratch.frontier = frontier;
+            std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+        }
+
+        let nonfailed = self.n - scratch.failed.count_ones();
+        let nonfailed_reached = scratch.reached.difference_count(&scratch.failed);
+        RelayOutcome {
+            nonfailed,
+            nonfailed_reached,
+            messages_sent,
+            max_hop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_model::distribution::{FixedFanout, PoissonFanout};
+    use gossip_model::poisson_case;
+    use gossip_stats::rng::SplitMix64;
+    use gossip_topology::OverlaySpec;
+
+    fn run_reps(setup: &RelaySetup<'_>, reps: u64, seed: u64) -> Vec<RelayOutcome> {
+        let mut scratch = RelayScratch::new(setup.n);
+        (0..reps)
+            .map(|rep| {
+                let mut rng = Xoshiro256StarStar::new(SplitMix64::derive(seed, rep));
+                setup.run(&mut scratch, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn complete_overlay_matches_the_analytic_curve() {
+        // Fig. 4 operating point: Po(6) fanout, q = 0.9. Mean relay
+        // reliability should sit near the §4.3 closed form.
+        let dist = PoissonFanout::new(6.0);
+        let sampler = FanoutSampler::new(&dist);
+        let setup = RelaySetup {
+            n: 4000,
+            source: 0,
+            q: 0.9,
+            loss: 0.0,
+            dist: &dist,
+            sampler: &sampler,
+            overlay: None,
+            blocked: None,
+            prefailed: &[],
+        };
+        let outcomes = run_reps(&setup, 40, 0xF1A7_0001);
+        let mean: f64 =
+            outcomes.iter().map(RelayOutcome::reliability).sum::<f64>() / outcomes.len() as f64;
+        let predicted = poisson_case::reliability(6.0, 0.9).unwrap();
+        assert!(
+            (mean - predicted).abs() < 0.05,
+            "relay mean {mean} vs analytic {predicted}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let dist = PoissonFanout::new(4.0);
+        let sampler = FanoutSampler::new(&dist);
+        let setup = RelaySetup {
+            n: 500,
+            source: 3,
+            q: 0.8,
+            loss: 0.1,
+            dist: &dist,
+            sampler: &sampler,
+            overlay: None,
+            blocked: None,
+            prefailed: &[7, 8, 9],
+        };
+        let a = run_reps(&setup, 10, 42);
+        let b = run_reps(&setup, 10, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefailed_members_absorb_and_shrink_the_denominator() {
+        let dist = FixedFanout::new(8);
+        let sampler = FanoutSampler::new(&dist);
+        let prefailed: Vec<u32> = (1..=100).collect();
+        let setup = RelaySetup {
+            n: 1000,
+            source: 0,
+            q: 1.0,
+            loss: 0.0,
+            dist: &dist,
+            sampler: &sampler,
+            overlay: None,
+            blocked: None,
+            prefailed: &prefailed,
+        };
+        let outcome = run_reps(&setup, 1, 7)[0];
+        assert_eq!(outcome.nonfailed, 900);
+        assert!(outcome.nonfailed_reached <= 900);
+        // Fanout 8 on an intact group saturates it.
+        assert!(outcome.nonfailed_reached as f64 / 900.0 > 0.99);
+    }
+
+    #[test]
+    fn loss_thins_like_a_lower_fanout() {
+        // Po(8) with 50% loss ⇒ effective Po(4) reach (bond-thinning of
+        // a Poisson relay graph).
+        let lossy = PoissonFanout::new(8.0);
+        let thin = PoissonFanout::new(4.0);
+        let lossy_sampler = FanoutSampler::new(&lossy);
+        let thin_sampler = FanoutSampler::new(&thin);
+        let base = RelaySetup {
+            n: 3000,
+            source: 0,
+            q: 1.0,
+            loss: 0.5,
+            dist: &lossy,
+            sampler: &lossy_sampler,
+            overlay: None,
+            blocked: None,
+            prefailed: &[],
+        };
+        let thinned = RelaySetup {
+            loss: 0.0,
+            dist: &thin,
+            sampler: &thin_sampler,
+            ..base
+        };
+        let mean = |outs: &[RelayOutcome]| {
+            outs.iter().map(RelayOutcome::reliability).sum::<f64>() / outs.len() as f64
+        };
+        let a = mean(&run_reps(&base, 30, 11));
+        let b = mean(&run_reps(&thinned, 30, 12));
+        assert!((a - b).abs() < 0.05, "lossy {a} vs thinned {b}");
+    }
+
+    #[test]
+    fn structured_overlay_runs_and_respects_degree() {
+        let dist = FixedFanout::new(4);
+        let sampler = FanoutSampler::new(&dist);
+        let topo = gossip_topology::build_overlay(&OverlaySpec::KRegular { k: 4 }, 256, 99);
+        let setup = RelaySetup {
+            n: 256,
+            source: 0,
+            q: 1.0,
+            loss: 0.0,
+            dist: &dist,
+            sampler: &sampler,
+            overlay: Some((&topo, PeerSelection::RandomNeighbour)),
+            blocked: None,
+            prefailed: &[],
+        };
+        let outcome = run_reps(&setup, 1, 5)[0];
+        // Ring(k=4) with fanout 4 floods the whole ring.
+        assert_eq!(outcome.nonfailed_reached, 256);
+        assert!(outcome.max_hop >= (256 / 4) as u32 / 2);
+    }
+}

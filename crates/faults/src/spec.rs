@@ -252,6 +252,15 @@ impl FaultSpec {
                     ));
                 }
             }
+            // The engines convert at_ms to nanoseconds of virtual time;
+            // a value past u64::MAX / 1e6 would wrap the clock.
+            if z.at_ms > u64::MAX / 1_000_000 {
+                return Err(invalid(
+                    "at_ms",
+                    z.at_ms as f64,
+                    "zone-failure time must fit the nanosecond clock (at_ms <= u64::MAX / 1e6)",
+                ));
+            }
         }
         if let Some(b) = &self.bursty_loss {
             for (name, value) in [
@@ -445,6 +454,15 @@ mod tests {
         let err = spec.validate(100, &clustered(5)).unwrap_err();
         assert_eq!(err.name, "zone");
         assert_eq!(err.value, 5.0);
+    }
+
+    #[test]
+    fn zone_failure_time_must_fit_the_nanosecond_clock() {
+        let spec = FaultSpec::none().with_zone_failure(vec![0], u64::MAX / 1_000_000 + 1);
+        let err = spec.validate(100, &clustered(5)).unwrap_err();
+        assert_eq!(err.name, "at_ms");
+        let ok = FaultSpec::none().with_zone_failure(vec![0], u64::MAX / 1_000_000);
+        assert!(ok.validate(100, &clustered(5)).is_ok());
     }
 
     #[test]

@@ -19,18 +19,19 @@
 
 use std::sync::Arc;
 
+use gossip_engine::{FanoutSampler, RelayScratch, RelaySetup, FLAT_STREAM, FLAT_TOPOLOGY_STREAM};
 use gossip_faults::GilbertElliott;
 use gossip_model::distribution::FanoutDistribution;
 use gossip_model::loss::LossyGossip;
 use gossip_model::percolation::SitePercolation;
 use gossip_model::scenario::{
-    Backend, FailureSpec, LatencySpec, MembershipSpec, ProtocolSpec, Report, Scenario,
+    Backend, EngineSpec, FailureSpec, LatencySpec, MembershipSpec, ProtocolSpec, Report, Scenario,
 };
 use gossip_model::{success, ModelError};
 use gossip_netsim::{FailurePlan, LatencyModel, NetworkConfig, SimDuration};
 use gossip_stats::descriptive::OnlineStats;
 use gossip_stats::parallel::parallel_map;
-use gossip_stats::rng::SplitMix64;
+use gossip_stats::rng::{SplitMix64, Xoshiro256StarStar};
 
 use crate::engine::{run_execution_with_plan, ExecutionConfig, ExecutionOutcome, MembershipKind};
 use crate::flood::Flooding;
@@ -117,7 +118,7 @@ fn run_variant(
     dist: &Arc<dyn FanoutDistribution>,
     plan: &FailurePlan,
     seed: u64,
-) -> ExecutionOutcome {
+) -> Result<ExecutionOutcome, ModelError> {
     fn inject_push<P: gossip_netsim::NodeBehavior<GossipMessage>>(
         seed: u64,
     ) -> impl FnOnce(&mut gossip_netsim::Simulator<GossipMessage, P>, u32) {
@@ -174,7 +175,7 @@ fn run_variant(
 /// into take-off vs fizzle (threshold = half the prediction, the
 /// convention of the figure harness). Falls back to 0.5 when the model
 /// cannot price the scenario (e.g. crash schedules).
-fn takeoff_threshold(scenario: &Scenario, dist: &Arc<dyn FanoutDistribution>) -> f64 {
+fn takeoff_threshold(scenario: &Scenario, dist: &dyn FanoutDistribution) -> f64 {
     let q = scenario.q().unwrap_or(1.0);
     // Bursty loss folds in at its stationary mean: the prediction is an
     // upper bound (burstiness only hurts more), which is all a take-off
@@ -185,7 +186,7 @@ fn takeoff_threshold(scenario: &Scenario, dist: &Arc<dyn FanoutDistribution>) ->
         loss = 1.0 - (1.0 - loss) * (1.0 - mean);
     }
     let prediction = match scenario.protocol {
-        ProtocolSpec::Push => LossyGossip::new(&**dist, q, loss)
+        ProtocolSpec::Push => LossyGossip::new(dist, q, loss)
             .and_then(|m| m.reliability())
             .unwrap_or(1.0),
         // Flood / push-pull complete whenever anything spreads.
@@ -213,9 +214,11 @@ fn evaluate_monte_carlo(
     let outcomes: Vec<ExecutionOutcome> = parallel_map(scenario.replications, |rep| {
         let seed = SplitMix64::derive(scenario.seed, rep as u64);
         run_variant(cfg, scenario.protocol, &dist, &plan, seed)
-    });
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
 
-    let threshold = takeoff_threshold(scenario, &dist);
+    let threshold = takeoff_threshold(scenario, &*dist);
     let mut conditional = OnlineStats::new();
     let mut raw = OnlineStats::new();
     let mut rounds = OnlineStats::new();
@@ -269,6 +272,121 @@ fn evaluate_monte_carlo(
     })
 }
 
+/// Why the flat engine cannot run this scenario, if it can't. The flat
+/// relay kernel reproduces exactly the §5 push experiment — untimed,
+/// lossless fanout relay over the full view or a pinned overlay;
+/// everything else keeps the event-driven engine.
+fn flat_unsupported(scenario: &Scenario, membership: &MembershipKind) -> Option<&'static str> {
+    if scenario.protocol != ProtocolSpec::Push {
+        return Some("the flat engine for flood/push-pull variants (only the §5 push relay has a flat kernel)");
+    }
+    if !scenario.faults.is_default() {
+        return Some("the flat engine under fault injection (churn, zone failures, bursty loss, and adversaries stay on the event-driven engine)");
+    }
+    if matches!(membership, MembershipKind::Scamp { .. }) {
+        return Some(
+            "the flat engine with SCAMP partial views (view construction is a protocol of its own)",
+        );
+    }
+    None
+}
+
+/// The flat §5 push experiment: the `gossip-engine` bitset-frontier
+/// relay kernel instead of the discrete-event simulator. Same estimator
+/// as [`evaluate_monte_carlo`] — take-off-conditioned reliability,
+/// rounds = relay depth — but no clock, so `quiescence_secs` stays
+/// `None` exactly like the classic untimed run.
+fn evaluate_flat_push(
+    scenario: &Scenario,
+    q: f64,
+    membership: &MembershipKind,
+) -> Result<Report, ModelError> {
+    let boxed = scenario.fanout.build()?;
+    let dist: &dyn FanoutDistribution = &*boxed;
+    let n = scenario.n;
+    // Overlay CSR built once per evaluation and shared read-only across
+    // replications (quenched approximation — see `gossip_engine::relay`).
+    let overlay = match membership {
+        MembershipKind::Overlay { spec } => {
+            Some(spec.build(n, SplitMix64::derive(scenario.seed, FLAT_TOPOLOGY_STREAM)))
+        }
+        _ => None,
+    };
+    let selection = scenario.topology.selection;
+    let sampler = FanoutSampler::new(dist);
+    let reps = scenario.replications;
+    let (chunks, bounds) = gossip_engine::chunk_bounds(reps);
+    let per_chunk: Vec<Vec<(f64, f64, u32)>> = parallel_map(chunks, |chunk| {
+        let mut scratch = RelayScratch::new(n);
+        bounds(chunk)
+            .map(|rep| {
+                let seed = SplitMix64::derive(scenario.seed, rep as u64);
+                let setup = RelaySetup {
+                    n,
+                    source: 0,
+                    q,
+                    loss: 0.0,
+                    dist,
+                    sampler: &sampler,
+                    overlay: overlay.as_ref().map(|topo| (topo, selection)),
+                    blocked: None,
+                    prefailed: &[],
+                };
+                let mut rng = Xoshiro256StarStar::new(SplitMix64::derive(seed, FLAT_STREAM));
+                let out = setup.run(&mut scratch, &mut rng);
+                let messages = out.messages_sent as f64 / out.nonfailed.max(1) as f64;
+                (out.reliability(), messages, out.max_hop)
+            })
+            .collect()
+    });
+
+    let threshold = takeoff_threshold(scenario, dist);
+    let mut conditional = OnlineStats::new();
+    let mut raw = OnlineStats::new();
+    let mut rounds = OnlineStats::new();
+    let mut messages = OnlineStats::new();
+    let mut takeoffs = 0usize;
+    for &(r, m, max_hop) in per_chunk.iter().flatten() {
+        messages.push(m);
+        raw.push(r);
+        if r > threshold {
+            takeoffs += 1;
+            conditional.push(r);
+            rounds.push(max_hop as f64);
+        }
+    }
+    let reliability = if conditional.count() == 0 {
+        0.0
+    } else {
+        conditional.mean()
+    };
+    let ci = conditional.ci95();
+    let critical_q = SitePercolation::new(dist, 1.0)?.critical_q();
+    Ok(Report {
+        backend: "protocol".to_string(),
+        scenario: scenario.label(),
+        replications: reps,
+        reliability,
+        reliability_std_error: conditional.sem(),
+        reliability_ci95: (ci.lo, ci.hi),
+        reliability_raw: Some(raw.mean()),
+        critical_q,
+        takeoff_rate: Some(takeoffs as f64 / reps as f64),
+        rounds: if takeoffs == 0 {
+            None
+        } else {
+            Some(rounds.mean())
+        },
+        messages_per_member: Some(messages.mean()),
+        quiescence_secs: None,
+        transport: None,
+        topology: scenario.topology_label(),
+        faults: scenario.faults_label(),
+        messages_lost: None,
+        success_within_t: success::success_probability(reliability, scenario.executions),
+    })
+}
+
 /// The paper's §5 Monte-Carlo experiment: the executable protocol on an
 /// idealized (lossless, constant-latency) network.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -303,8 +421,23 @@ impl Backend for ProtocolBackend {
             }
         };
         check_churn_support(self.name(), scenario)?;
+        let membership = membership_kind(self.name(), scenario)?;
+        if scenario.engine.flat_for(scenario.n) {
+            match flat_unsupported(scenario, &membership) {
+                None => return evaluate_flat_push(scenario, q, &membership),
+                Some(what) if scenario.engine == EngineSpec::Flat => {
+                    return Err(ModelError::Unsupported {
+                        backend: "protocol",
+                        what,
+                    });
+                }
+                // `Auto` above the threshold but unsupported: the
+                // classic engine quietly keeps the scenario.
+                Some(_) => {}
+            }
+        }
         let cfg = ExecutionConfig::new(scenario.n, q)
-            .with_membership(membership_kind(self.name(), scenario)?)
+            .with_membership(membership)
             .with_faults(scenario.faults.clone());
         evaluate_monte_carlo(self.name(), scenario, &cfg, false)
     }
@@ -322,6 +455,12 @@ impl Backend for NetSimBackend {
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Report, ModelError> {
         scenario.validate()?;
+        if scenario.engine == EngineSpec::Flat {
+            return Err(ModelError::Unsupported {
+                backend: "netsim",
+                what: "the flat engine (timing metrics need the event-driven simulator; use the graph or protocol backend)",
+            });
+        }
         // q feeds ExecutionConfig validation only; scheduled-crash
         // scenarios run with the explicit plan and q = 1 here.
         let q = scenario.q().unwrap_or(1.0);
@@ -551,5 +690,99 @@ mod tests {
             NetSimBackend.evaluate(&scenario),
             Err(ModelError::Unsupported { .. })
         ));
+    }
+
+    #[test]
+    fn flat_engine_agrees_with_the_classic_protocol() {
+        let classic = ProtocolBackend
+            .evaluate(&headline(20).with_engine(EngineSpec::Classic))
+            .unwrap();
+        let flat = ProtocolBackend
+            .evaluate(&headline(20).with_engine(EngineSpec::Flat))
+            .unwrap();
+        assert!(
+            (flat.reliability - classic.reliability).abs() < 0.03,
+            "flat {} vs classic {}",
+            flat.reliability,
+            classic.reliability
+        );
+        assert!(flat.takeoff_rate.unwrap() > 0.5);
+        assert!(flat.rounds.unwrap() > 1.0);
+        assert!(flat.messages_per_member.unwrap() > 1.0);
+        assert!(flat.quiescence_secs.is_none(), "the flat run is untimed");
+        // Engine choice never leaks into the scenario label.
+        assert_eq!(flat.scenario, classic.scenario);
+    }
+
+    #[test]
+    fn flat_engine_agrees_on_a_structured_overlay() {
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        let scenario = Scenario::new(2000, FanoutSpec::poisson(5.0))
+            .with_failure_ratio(0.95)
+            .with_replications(12)
+            .with_topology(TopologySpec::new(OverlaySpec::WattsStrogatz {
+                k: 16,
+                beta: 0.5,
+            }));
+        let classic = ProtocolBackend
+            .evaluate(&scenario.clone().with_engine(EngineSpec::Classic))
+            .unwrap();
+        let flat = ProtocolBackend
+            .evaluate(&scenario.with_engine(EngineSpec::Flat))
+            .unwrap();
+        // Wider tolerance: the flat path quenches the overlay (one CSR
+        // per evaluation) where the classic path resamples it per
+        // replication.
+        assert!(
+            (flat.reliability - classic.reliability).abs() < 0.08,
+            "flat {} vs classic {}",
+            flat.reliability,
+            classic.reliability
+        );
+        assert_eq!(flat.topology.as_deref(), Some("ws(k=16,beta=0.5)/neigh"));
+    }
+
+    #[test]
+    fn flat_engine_refusals_are_typed() {
+        // Flood has no flat kernel.
+        assert!(matches!(
+            ProtocolBackend.evaluate(
+                &headline(5)
+                    .with_protocol(ProtocolSpec::Flood)
+                    .with_engine(EngineSpec::Flat)
+            ),
+            Err(ModelError::Unsupported { .. })
+        ));
+        // SCAMP view construction stays event-driven.
+        assert!(matches!(
+            ProtocolBackend.evaluate(
+                &headline(5)
+                    .with_membership(MembershipSpec::Scamp { c: 2 })
+                    .with_engine(EngineSpec::Flat)
+            ),
+            Err(ModelError::Unsupported { .. })
+        ));
+        // The netsim backend is event-driven by definition.
+        assert!(matches!(
+            NetSimBackend.evaluate(&headline(5).with_engine(EngineSpec::Flat)),
+            Err(ModelError::Unsupported { .. })
+        ));
+        // `Auto` with an unsupported combination quietly keeps classic.
+        let auto = ProtocolBackend
+            .evaluate(&headline(5).with_protocol(ProtocolSpec::Flood))
+            .unwrap();
+        assert!(auto.reliability > 0.999);
+    }
+
+    #[test]
+    fn auto_engine_below_threshold_matches_classic_byte_for_byte() {
+        // n = 1000 is far below FLAT_ENGINE_AUTO_THRESHOLD, so `Auto`
+        // must take the classic path and the entire Report — every
+        // float, every label — must match.
+        let auto = ProtocolBackend.evaluate(&headline(8)).unwrap();
+        let classic = ProtocolBackend
+            .evaluate(&headline(8).with_engine(EngineSpec::Classic))
+            .unwrap();
+        assert_eq!(auto, classic);
     }
 }

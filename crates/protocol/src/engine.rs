@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use gossip_faults::{zone_members, BlockedLinks, ChurnPlan, FaultSpec, GilbertElliott};
 use gossip_model::distribution::FanoutDistribution;
+use gossip_model::ModelError;
 use gossip_netsim::membership::{DynamicView, FullView, Membership, OverlayView, ScampViews};
 use gossip_netsim::{
     FailurePlan, LinkFaults, NetworkConfig, NodeBehavior, NodeId, SimTime, Simulator,
@@ -63,6 +64,10 @@ impl ExecutionConfig {
     /// source member 0.
     pub fn new(n: usize, q: f64) -> Self {
         assert!(n >= 2, "group needs at least 2 members");
+        assert!(
+            n <= u32::MAX as usize,
+            "node ids are u32 (n <= 2^32 - 1, got {n})"
+        );
         assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1], got {q}");
         Self {
             n,
@@ -158,8 +163,14 @@ impl ExecutionOutcome {
 ///
 /// The run is a pure function of `(cfg, make, seed)`: the crash pattern,
 /// membership (if SCAMP), network and protocol randomness all derive
-/// from `seed`.
-pub fn run_execution<P, F>(cfg: &ExecutionConfig, make: F, seed: u64) -> ExecutionOutcome
+/// from `seed`. Configurations that bypass `Scenario::validate` and
+/// combine incompatible faults and memberships get a typed error, not a
+/// panic.
+pub fn run_execution<P, F>(
+    cfg: &ExecutionConfig,
+    make: F,
+    seed: u64,
+) -> Result<ExecutionOutcome, ModelError>
 where
     P: GossipProtocol + NodeBehavior<GossipMessage>,
     F: FnMut(NodeId) -> P,
@@ -181,7 +192,7 @@ pub fn run_execution_with<P, M, F, I>(
     make: F,
     seed: u64,
     inject: I,
-) -> ExecutionOutcome
+) -> Result<ExecutionOutcome, ModelError>
 where
     P: GossipProtocol + NodeBehavior<M>,
     F: FnMut(NodeId) -> P,
@@ -200,7 +211,7 @@ pub fn run_execution_with_plan<P, M, F, I>(
     seed: u64,
     plan: &FailurePlan,
     inject: I,
-) -> ExecutionOutcome
+) -> Result<ExecutionOutcome, ModelError>
 where
     P: GossipProtocol + NodeBehavior<M>,
     F: FnMut(NodeId) -> P,
@@ -213,13 +224,24 @@ where
     // real node slots (ids n..n+K) that stay dormant until their join
     // event fires. Everything derives from `seed` — the realized plan is
     // part of the execution's identity.
-    let churn_plan = cfg.faults.churn.as_ref().map(|churn| {
-        assert!(
-            matches!(cfg.membership, MembershipKind::Full),
-            "membership churn needs full-view membership (views cannot bootstrap joiners)"
-        );
-        ChurnPlan::sample(churn, cfg.n, cfg.source, SplitMix64::derive(seed, 0xC4A2))
-    });
+    let churn_plan = match cfg.faults.churn.as_ref() {
+        Some(churn) => {
+            if !matches!(cfg.membership, MembershipKind::Full) {
+                return Err(ModelError::Unsupported {
+                    backend: "protocol-engine",
+                    what: "membership churn without full-view membership \
+                           (partial views cannot bootstrap joiners)",
+                });
+            }
+            Some(ChurnPlan::sample(
+                churn,
+                cfg.n,
+                cfg.source,
+                SplitMix64::derive(seed, 0xC4A2),
+            ))
+        }
+        None => None,
+    };
     let total = cfg.n + churn_plan.as_ref().map_or(0, |p| p.joins.len());
 
     let behaviors: Vec<P> = (0..total as NodeId).map(&mut make).collect();
@@ -251,12 +273,28 @@ where
                         ..
                     },
             } => *zones,
-            _ => panic!("zone failures need a Clustered overlay membership"),
+            _ => {
+                return Err(ModelError::InvalidParameter {
+                    name: "zone_failure",
+                    value: zone_failure.zones.len() as f64,
+                    requirement: "correlated zone failures need a Clustered overlay membership",
+                })
+            }
         };
         // Scheduled before the injection: an `at_ms = 0` kill fires
         // before the source's message lands (events order by time, then
         // insertion sequence).
-        let at = SimTime::from_nanos(zone_failure.at_ms * 1_000_000);
+        let at_ns =
+            zone_failure
+                .at_ms
+                .checked_mul(1_000_000)
+                .ok_or(ModelError::InvalidParameter {
+                    name: "at_ms",
+                    value: zone_failure.at_ms as f64,
+                    requirement: "zone-failure time must fit the nanosecond clock \
+                              (at_ms <= u64::MAX / 1e6)",
+                })?;
+        let at = SimTime::from_nanos(at_ns);
         for &zone in &zone_failure.zones {
             for member in zone_members(cfg.n, zones, zone) {
                 if member as NodeId != cfg.source {
@@ -322,7 +360,7 @@ where
         }
     };
 
-    ExecutionOutcome {
+    Ok(ExecutionOutcome {
         nonfailed,
         nonfailed_reached,
         messages_sent: sim.metrics().messages_sent,
@@ -331,12 +369,16 @@ where
         quiescence: sim.metrics().last_event_time,
         observer_reached,
         hop_histogram,
-    }
+    })
 }
 
 /// Runs one execution of the paper's push protocol with fanout
 /// distribution `dist`.
-pub fn run_push<D>(cfg: &ExecutionConfig, dist: &D, seed: u64) -> ExecutionOutcome
+pub fn run_push<D>(
+    cfg: &ExecutionConfig,
+    dist: &D,
+    seed: u64,
+) -> Result<ExecutionOutcome, ModelError>
 where
     D: FanoutDistribution + Clone + 'static,
 {
@@ -352,7 +394,7 @@ mod tests {
     #[test]
     fn no_failure_high_fanout_succeeds() {
         let cfg = ExecutionConfig::new(200, 1.0);
-        let out = run_push(&cfg, &FixedFanout::new(6), 1);
+        let out = run_push(&cfg, &FixedFanout::new(6), 1).unwrap();
         assert_eq!(out.nonfailed, 200);
         assert!(out.reliability() > 0.99, "r = {}", out.reliability());
         assert!(out.is_success());
@@ -364,7 +406,7 @@ mod tests {
     fn subcritical_execution_dies_out() {
         // Po(4) at q = 0.15 < q_c = 0.25: reach stays local.
         let cfg = ExecutionConfig::new(2000, 0.15);
-        let out = run_push(&cfg, &PoissonFanout::new(4.0), 2);
+        let out = run_push(&cfg, &PoissonFanout::new(4.0), 2).unwrap();
         assert!(
             out.reliability() < 0.1,
             "subcritical reliability {}",
@@ -376,7 +418,7 @@ mod tests {
     #[test]
     fn reliability_counts_only_nonfailed() {
         let cfg = ExecutionConfig::new(1000, 0.5);
-        let out = run_push(&cfg, &PoissonFanout::new(6.0), 3);
+        let out = run_push(&cfg, &PoissonFanout::new(6.0), 3).unwrap();
         assert!(out.nonfailed < 600, "q=0.5 should fail ~half");
         assert!(out.nonfailed_reached <= out.nonfailed);
         assert!((0.0..=1.0).contains(&out.reliability()));
@@ -385,17 +427,17 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let cfg = ExecutionConfig::new(500, 0.8);
-        let a = run_push(&cfg, &PoissonFanout::new(4.0), 42);
-        let b = run_push(&cfg, &PoissonFanout::new(4.0), 42);
+        let a = run_push(&cfg, &PoissonFanout::new(4.0), 42).unwrap();
+        let b = run_push(&cfg, &PoissonFanout::new(4.0), 42).unwrap();
         assert_eq!(a, b);
-        let c = run_push(&cfg, &PoissonFanout::new(4.0), 43);
+        let c = run_push(&cfg, &PoissonFanout::new(4.0), 43).unwrap();
         assert_ne!(a, c, "different seeds should differ (a.s.)");
     }
 
     #[test]
     fn scamp_membership_runs() {
         let cfg = ExecutionConfig::new(400, 0.9).with_membership(MembershipKind::Scamp { c: 2 });
-        let out = run_push(&cfg, &PoissonFanout::new(5.0), 4);
+        let out = run_push(&cfg, &PoissonFanout::new(5.0), 4).unwrap();
         assert!(
             out.reliability() > 0.5,
             "gossip over SCAMP views reached {}",
@@ -410,14 +452,14 @@ mod tests {
         // still spreads widely at q = 0.9.
         let spec = TopologySpec::new(OverlaySpec::WattsStrogatz { k: 10, beta: 0.3 });
         let cfg = ExecutionConfig::new(400, 0.9).with_membership(MembershipKind::Overlay { spec });
-        let out = run_push(&cfg, &PoissonFanout::new(5.0), 4);
+        let out = run_push(&cfg, &PoissonFanout::new(5.0), 4).unwrap();
         assert!(
             out.reliability() > 0.5,
             "gossip over overlay views reached {}",
             out.reliability()
         );
         // Deterministic in the seed, like every other membership.
-        let again = run_push(&cfg, &PoissonFanout::new(5.0), 4);
+        let again = run_push(&cfg, &PoissonFanout::new(5.0), 4).unwrap();
         assert_eq!(out, again);
     }
 
@@ -428,12 +470,54 @@ mod tests {
     }
 
     #[test]
+    fn zone_failure_without_clustered_membership_is_a_typed_error() {
+        // Reachable by constructing the config directly, bypassing
+        // `Scenario::validate` — must refuse, not unwind.
+        let cfg = ExecutionConfig::new(100, 1.0)
+            .with_faults(FaultSpec::none().with_zone_failure(vec![0], 0));
+        let err = run_push(&cfg, &PoissonFanout::new(4.0), 1).unwrap_err();
+        match err {
+            ModelError::InvalidParameter { name, .. } => assert_eq!(name, "zone_failure"),
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn churn_without_full_membership_is_a_typed_error() {
+        use gossip_faults::ChurnSpec;
+        let cfg = ExecutionConfig::new(100, 1.0)
+            .with_membership(MembershipKind::Scamp { c: 2 })
+            .with_faults(FaultSpec::none().with_churn(ChurnSpec::symmetric(10.0, 100)));
+        let err = run_push(&cfg, &PoissonFanout::new(4.0), 1).unwrap_err();
+        assert!(matches!(err, ModelError::Unsupported { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn absurd_zone_failure_time_is_a_typed_error() {
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        // at_ms * 1e6 would wrap u64; the engine must refuse instead.
+        let spec = TopologySpec::new(OverlaySpec::Clustered {
+            zones: 5,
+            intra: 6,
+            inter: 2,
+        });
+        let cfg = ExecutionConfig::new(100, 1.0)
+            .with_membership(MembershipKind::Overlay { spec })
+            .with_faults(FaultSpec::none().with_zone_failure(vec![1], u64::MAX / 1_000));
+        let err = run_push(&cfg, &PoissonFanout::new(4.0), 1).unwrap_err();
+        match err {
+            ModelError::InvalidParameter { name, .. } => assert_eq!(name, "at_ms"),
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn churn_accounting_matches_the_sampled_plan() {
         use gossip_faults::ChurnSpec;
         let spec = ChurnSpec::symmetric(40.0, 200);
         let cfg = ExecutionConfig::new(300, 1.0).with_faults(FaultSpec::none().with_churn(spec));
         let seed = 77;
-        let out = run_push(&cfg, &PoissonFanout::new(6.0), seed);
+        let out = run_push(&cfg, &PoissonFanout::new(6.0), seed).unwrap();
         // With q = 1 the only crashes are churn leaves, so the
         // denominator is exactly the plan's final population.
         let plan = ChurnPlan::sample(&spec, 300, 0, SplitMix64::derive(seed, 0xC4A2));
@@ -443,7 +527,7 @@ mod tests {
         );
         assert_eq!(out.nonfailed, plan.final_population(300));
         // Determinism holds through the churn machinery.
-        assert_eq!(out, run_push(&cfg, &PoissonFanout::new(6.0), seed));
+        assert_eq!(out, run_push(&cfg, &PoissonFanout::new(6.0), seed).unwrap());
     }
 
     #[test]
@@ -457,7 +541,7 @@ mod tests {
         let cfg = ExecutionConfig::new(200, 1.0)
             .with_membership(MembershipKind::Overlay { spec })
             .with_faults(FaultSpec::none().with_zone_failure(vec![0, 2], 0));
-        let out = run_push(&cfg, &PoissonFanout::new(6.0), 5);
+        let out = run_push(&cfg, &PoissonFanout::new(6.0), 5).unwrap();
         // Zones 0 and 2 hold 40 members each; the source (id 0, zone 0)
         // is immune, so 79 members die before the injection lands.
         assert_eq!(out.nonfailed, 200 - 79);
@@ -469,7 +553,7 @@ mod tests {
         use gossip_faults::AdversaryStrategy;
         let cfg = ExecutionConfig::new(100, 1.0)
             .with_faults(FaultSpec::none().with_adversary(99, AdversaryStrategy::WorstCase));
-        let out = run_push(&cfg, &PoissonFanout::new(8.0), 6);
+        let out = run_push(&cfg, &PoissonFanout::new(8.0), 6).unwrap();
         // All 99 source uplinks are blocked: only the source delivers.
         assert_eq!(out.nonfailed_reached, 1);
         assert!((out.reliability() - 0.01).abs() < 1e-9);
@@ -479,7 +563,7 @@ mod tests {
     fn bursty_loss_thins_dissemination() {
         use gossip_faults::BurstySpec;
         let cfg = ExecutionConfig::new(500, 1.0);
-        let clean = run_push(&cfg, &PoissonFanout::new(4.0), 8);
+        let clean = run_push(&cfg, &PoissonFanout::new(4.0), 8).unwrap();
         let bursty_cfg = cfg
             .clone()
             .with_faults(FaultSpec::none().with_bursty_loss(BurstySpec {
@@ -488,7 +572,7 @@ mod tests {
                 loss_good: 0.0,
                 loss_bad: 0.9,
             }));
-        let bursty = run_push(&bursty_cfg, &PoissonFanout::new(4.0), 8);
+        let bursty = run_push(&bursty_cfg, &PoissonFanout::new(4.0), 8).unwrap();
         assert!(
             bursty.nonfailed_reached < clean.nonfailed_reached,
             "bursty {} vs clean {}",

@@ -86,7 +86,7 @@ where
 {
     parallel_map(reps, |rep| {
         let seed = SplitMix64::derive(base_seed, rep as u64);
-        run_push(cfg, dist, seed)
+        run_push(cfg, dist, seed).expect("paper-model execution config is infallible")
     })
 }
 
@@ -113,7 +113,10 @@ where
         let mut receipts = 0u64;
         for exec in 0..execs_per_sim {
             let seed = SplitMix64::derive(sim_seed, exec as u64);
-            if run_push(cfg, dist, seed).observer_reached {
+            if run_push(cfg, dist, seed)
+                .expect("paper-model execution config is infallible")
+                .observer_reached
+            {
                 receipts += 1;
             }
         }
@@ -147,7 +150,10 @@ where
         let mut successes = 0u64;
         for exec in 0..execs_per_sim {
             let seed = SplitMix64::derive(sim_seed, exec as u64);
-            if run_push(cfg, dist, seed).is_success() {
+            if run_push(cfg, dist, seed)
+                .expect("paper-model execution config is infallible")
+                .is_success()
+            {
                 successes += 1;
             }
         }
@@ -226,7 +232,10 @@ where
         let trial_seed = SplitMix64::derive(base_seed, trial as u64);
         for exec in 0..t {
             let seed = SplitMix64::derive(trial_seed, exec as u64);
-            if run_push(cfg, dist, seed).observer_reached {
+            if run_push(cfg, dist, seed)
+                .expect("paper-model execution config is infallible")
+                .observer_reached
+            {
                 return 1u32;
             }
         }

@@ -18,7 +18,7 @@ proptest! {
         seed in 0u64..10_000,
     ) {
         let cfg = ExecutionConfig::new(n, q);
-        let out = run_push(&cfg, &PoissonFanout::new(z), seed);
+        let out = run_push(&cfg, &PoissonFanout::new(z), seed).unwrap();
         prop_assert!(out.nonfailed >= 1, "source is always nonfailed");
         prop_assert!(out.nonfailed <= n);
         prop_assert!(out.nonfailed_reached >= 1, "source always receives");
@@ -44,7 +44,7 @@ proptest! {
         seed in 0u64..10_000,
     ) {
         let cfg = ExecutionConfig::new(n, 1.0);
-        let out = run_push(&cfg, &FixedFanout::new(f), seed);
+        let out = run_push(&cfg, &FixedFanout::new(f), seed).unwrap();
         let per_member = f.min(n - 1) as u64;
         prop_assert_eq!(
             out.messages_sent,
@@ -59,7 +59,7 @@ proptest! {
     fn outcome_deterministic(n in 2usize..150, seed in 0u64..10_000) {
         let cfg = ExecutionConfig::new(n, 0.8);
         let dist = PoissonFanout::new(3.0);
-        prop_assert_eq!(run_push(&cfg, &dist, seed), run_push(&cfg, &dist, seed));
+        prop_assert_eq!(run_push(&cfg, &dist, seed).unwrap(), run_push(&cfg, &dist, seed).unwrap());
     }
 
     /// The success probability within t executions is monotone in t for

@@ -18,6 +18,7 @@
 //! have per-event state no snapshot can express; they are declined
 //! with a typed [`ModelError::Unsupported`].
 
+use gossip_engine::{FanoutSampler, RelayScratch, RelaySetup, FLAT_STREAM, FLAT_TOPOLOGY_STREAM};
 use gossip_faults::{zone_members, BlockedLinks};
 use gossip_model::distribution::FanoutDistribution;
 use gossip_model::loss::LossyGossip;
@@ -31,6 +32,7 @@ use gossip_topology::select_targets;
 
 use crate::configuration::ConfigurationModel;
 use crate::digraph::Digraph;
+use crate::flat::{FlatPercolation, PercolationScratch};
 use crate::graph::Graph;
 use crate::percolation_sim::percolate;
 use crate::reach::reach_from;
@@ -85,11 +87,19 @@ impl Backend for GraphBackend {
             });
         }
         let dist = scenario.fanout.build()?;
+        let flat = scenario.engine.flat_for(scenario.n);
         // Static faults (zone kills, adversarial blocking) need a source
         // and directed reach, so they ride the structured path even on
         // the default complete overlay.
         if !scenario.topology.is_default() || !scenario.faults.is_default() {
-            return evaluate_structured(scenario, q, &*dist);
+            return if flat {
+                evaluate_structured_flat(scenario, q, &*dist)
+            } else {
+                evaluate_structured(scenario, q, &*dist)
+            };
+        }
+        if flat {
+            return evaluate_flat_default(scenario, q, &*dist);
         }
 
         let reliabilities: Vec<f64> = parallel_map(scenario.replications, |rep| {
@@ -133,6 +143,137 @@ impl Backend for GraphBackend {
             success_within_t: success::success_probability(reliability, scenario.executions),
         })
     }
+}
+
+/// The flat default path: fused configuration-model + site/bond
+/// percolation over arena-reused scratch (see [`crate::flat`]). Same
+/// census as the classic default path, different RNG stream.
+fn evaluate_flat_default(
+    scenario: &Scenario,
+    q: f64,
+    dist: &dyn FanoutDistribution,
+) -> Result<Report, ModelError> {
+    let sampler = FanoutSampler::new(dist);
+    let reps = scenario.replications;
+    let (chunks, bounds) = gossip_engine::chunk_bounds(reps);
+    let per_chunk: Vec<Vec<f64>> = parallel_map(chunks, |chunk| {
+        let flat = FlatPercolation {
+            n: scenario.n,
+            q,
+            loss: scenario.loss,
+            dist,
+            sampler: &sampler,
+        };
+        let mut scratch = PercolationScratch::new(scenario.n);
+        bounds(chunk)
+            .map(|rep| {
+                let seed = SplitMix64::derive(scenario.seed, rep as u64);
+                let mut rng = Xoshiro256StarStar::new(SplitMix64::derive(seed, FLAT_STREAM));
+                flat.run(&mut scratch, &mut rng)
+            })
+            .collect()
+    });
+    let mut stats = OnlineStats::new();
+    stats.extend(per_chunk.iter().flatten().copied());
+    let reliability = stats.mean();
+    let ci = stats.ci95();
+    let critical_q = SitePercolation::new(dist, 1.0)?.critical_q();
+    Ok(Report {
+        backend: "graph".to_string(),
+        scenario: scenario.label(),
+        replications: reps,
+        reliability,
+        reliability_std_error: stats.sem(),
+        reliability_ci95: (ci.lo, ci.hi),
+        reliability_raw: Some(reliability),
+        critical_q,
+        takeoff_rate: None,
+        rounds: None,
+        messages_per_member: None,
+        quiescence_secs: None,
+        transport: None,
+        topology: None,
+        faults: scenario.faults_label(),
+        messages_lost: None,
+        success_within_t: success::success_probability(reliability, scenario.executions),
+    })
+}
+
+/// The flat structured path: the `gossip-engine` lazy relay kernel.
+///
+/// Two deliberate deviations from the classic structured path, both
+/// covered by the cross-engine agreement tests:
+/// * the overlay CSR is built ONCE per evaluation (stream
+///   [`FLAT_TOPOLOGY_STREAM`]) and shared read-only across
+///   replications — a quenched-overlay approximation of the classic
+///   per-replication resample;
+/// * the relay digraph is never materialized — fanouts and targets are
+///   drawn lazily at first receipt, which is distributionally the same
+///   process.
+fn evaluate_structured_flat(
+    scenario: &Scenario,
+    q: f64,
+    dist: &dyn FanoutDistribution,
+) -> Result<Report, ModelError> {
+    let spec = scenario.topology;
+    let n = scenario.n;
+    // Complete overlays are never materialized: K(n−1) neighbour lists
+    // at n = 10⁶ would be the exact allocation wall this engine removes.
+    let overlay = if spec.is_default() {
+        None
+    } else {
+        Some(spec.build(n, SplitMix64::derive(scenario.seed, FLAT_TOPOLOGY_STREAM)))
+    };
+    let prefailed: Vec<u32> = scenario
+        .faults
+        .zone_failure
+        .as_ref()
+        .map(|zf| {
+            let zone_count = match spec.overlay {
+                gossip_topology::OverlaySpec::Clustered { zones, .. } => zones,
+                _ => unreachable!("validate() requires a Clustered overlay for zone failures"),
+            };
+            zf.zones
+                .iter()
+                .flat_map(|&zone| zone_members(n, zone_count, zone))
+                .filter(|&member| member != 0)
+                .map(|member| member as u32)
+                .collect()
+        })
+        .unwrap_or_default();
+    let sampler = FanoutSampler::new(dist);
+    let reps = scenario.replications;
+    let (chunks, bounds) = gossip_engine::chunk_bounds(reps);
+    let per_chunk: Vec<Vec<(f64, f64)>> = parallel_map(chunks, |chunk| {
+        let mut scratch = RelayScratch::new(n);
+        bounds(chunk)
+            .map(|rep| {
+                let seed = SplitMix64::derive(scenario.seed, rep as u64);
+                // Per replication so a `Random` adversary re-rolls its
+                // blocked set each run, like the classic 0xAD7E draw.
+                let blocked = scenario.faults.adversary.as_ref().map(|adv| {
+                    BlockedLinks::build(n, 0, adv, SplitMix64::derive(seed, ADVERSARY_STREAM))
+                });
+                let setup = RelaySetup {
+                    n,
+                    source: 0,
+                    q,
+                    loss: scenario.loss,
+                    dist,
+                    sampler: &sampler,
+                    overlay: overlay.as_ref().map(|topo| (topo, spec.selection)),
+                    blocked: blocked.as_ref(),
+                    prefailed: &prefailed,
+                };
+                let mut rng = Xoshiro256StarStar::new(SplitMix64::derive(seed, FLAT_STREAM));
+                let out = setup.run(&mut scratch, &mut rng);
+                let messages = out.messages_sent as f64 / out.nonfailed.max(1) as f64;
+                (out.reliability(), messages)
+            })
+            .collect()
+    });
+    let outcomes: Vec<(f64, f64)> = per_chunk.into_iter().flatten().collect();
+    structured_report(scenario, q, dist, outcomes)
 }
 
 /// The structured-overlay path: the Fig. 1 relay digraph is realized on
@@ -210,7 +351,17 @@ fn evaluate_structured(
         let messages = out.messages_sent as f64 / out.nonfailed_total.max(1) as f64;
         (out.reliability(), messages)
     });
+    structured_report(scenario, q, dist, outcomes)
+}
 
+/// Reduces per-replication `(reliability, messages_per_member)` pairs
+/// from either structured engine into the graph backend's [`Report`].
+fn structured_report(
+    scenario: &Scenario,
+    q: f64,
+    dist: &dyn FanoutDistribution,
+    outcomes: Vec<(f64, f64)>,
+) -> Result<Report, ModelError> {
     // Take-off threshold: half the complete-graph analytic prediction
     // (0 when subcritical) — the protocol/netsim/runtime convention.
     let prediction = LossyGossip::new(dist, q, scenario.loss)
@@ -490,6 +641,63 @@ mod tests {
             "random raw r = {}",
             random.reliability_raw.unwrap()
         );
+    }
+
+    #[test]
+    fn flat_engine_agrees_on_the_default_path() {
+        use gossip_model::scenario::EngineSpec;
+        let base = headline(5000, 10);
+        let classic = GraphBackend
+            .evaluate(&base.clone().with_engine(EngineSpec::Classic))
+            .unwrap();
+        let flat = GraphBackend
+            .evaluate(&base.with_engine(EngineSpec::Flat))
+            .unwrap();
+        assert!(
+            (flat.reliability - classic.reliability).abs() < 0.03,
+            "flat {} vs classic {}",
+            flat.reliability,
+            classic.reliability
+        );
+        assert_eq!(flat.scenario, classic.scenario, "labels must not diverge");
+    }
+
+    #[test]
+    fn flat_engine_agrees_on_a_structured_overlay() {
+        use gossip_model::scenario::EngineSpec;
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        let base = Scenario::new(2000, FanoutSpec::poisson(5.0))
+            .with_failure_ratio(0.95)
+            .with_replications(12)
+            .with_topology(TopologySpec::new(OverlaySpec::WattsStrogatz {
+                k: 16,
+                beta: 0.5,
+            }));
+        let classic = GraphBackend
+            .evaluate(&base.clone().with_engine(EngineSpec::Classic))
+            .unwrap();
+        let flat = GraphBackend
+            .evaluate(&base.with_engine(EngineSpec::Flat))
+            .unwrap();
+        // The flat engine quenches the overlay (one build per
+        // evaluation), so tolerance is wider than same-engine noise.
+        assert!(
+            (flat.reliability - classic.reliability).abs() < 0.08,
+            "flat {} vs classic {}",
+            flat.reliability,
+            classic.reliability
+        );
+        assert!(flat.messages_per_member.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn auto_engine_below_threshold_matches_classic_byte_for_byte() {
+        use gossip_model::scenario::EngineSpec;
+        let auto = GraphBackend.evaluate(&headline(2000, 5)).unwrap();
+        let classic = GraphBackend
+            .evaluate(&headline(2000, 5).with_engine(EngineSpec::Classic))
+            .unwrap();
+        assert_eq!(auto, classic);
     }
 
     #[test]

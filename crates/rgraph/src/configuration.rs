@@ -29,6 +29,10 @@ impl<'a, D: FanoutDistribution + ?Sized> ConfigurationModel<'a, D> {
     /// `dist`.
     pub fn new(dist: &'a D, n: usize) -> Self {
         assert!(n >= 2, "configuration model needs at least 2 nodes");
+        assert!(
+            n <= u32::MAX as usize,
+            "configuration model node ids are u32 (n <= 2^32 - 1, got {n})"
+        );
         Self {
             dist,
             n,
@@ -79,8 +83,9 @@ impl<'a, D: FanoutDistribution + ?Sized> ConfigurationModel<'a, D> {
         // Build the stub list: node i appears degrees[i] times.
         let mut stubs = Vec::with_capacity(total);
         for (node, &d) in degrees.iter().enumerate() {
+            let node = u32::try_from(node).expect("node count validated to fit u32");
             for _ in 0..d {
-                stubs.push(node as u32);
+                stubs.push(node);
             }
         }
         // Fisher–Yates shuffle, then pair consecutive stubs: a uniform

@@ -57,6 +57,10 @@ impl<'a, D: FanoutDistribution + ?Sized> GossipGraphBuilder<'a, D> {
     pub fn new(dist: &'a D, n: usize, q: f64) -> Self {
         assert!(n >= 2, "group needs at least 2 members");
         assert!(
+            n <= u32::MAX as usize,
+            "member ids are u32 (n <= 2^32 - 1, got {n})"
+        );
+        assert!(
             q > 0.0 && q <= 1.0,
             "nonfailed ratio must be in (0, 1], got {q}"
         );

@@ -26,11 +26,25 @@
 //!   graph, the Monte-Carlo counterpart of `gossip_model::percolation`.
 //! * [`phase`] — critical-point estimation by susceptibility peak, used
 //!   to validate `q_c = 1/G1'(1)` (paper Eq. 3/10).
+//! * [`flat`] — the million-node engine's percolation kernel. Where the
+//!   classic paths keep `Vec<bool>` membership flags and rebuild CSR
+//!   adjacency per replication, the flat layout packs every per-node
+//!   set (occupied, failed, reached) into u64-word bitsets — 512
+//!   members per cache line, `memset` clears, hardware popcount
+//!   reductions — and streams configuration-model stub pairs straight
+//!   into a [`UnionFind`] without ever materializing the graph. BFS
+//!   frontiers on the relay side (`gossip-engine`) are `u32` arrays
+//!   swapped level-by-level over the same bitset visited test. All
+//!   scratch lives in arenas reset — never reallocated — between
+//!   replications. [`backend::GraphBackend`] switches onto these
+//!   kernels above `EngineSpec`'s size threshold (or when a scenario
+//!   pins `EngineSpec::Flat`).
 
 pub mod backend;
 pub mod components;
 pub mod configuration;
 pub mod digraph;
+pub mod flat;
 pub mod gossip_graph;
 pub mod graph;
 pub mod percolation_sim;
@@ -42,6 +56,7 @@ pub use backend::GraphBackend;
 pub use components::ComponentCensus;
 pub use configuration::ConfigurationModel;
 pub use digraph::Digraph;
+pub use flat::{FlatPercolation, PercolationScratch};
 pub use gossip_graph::{GossipGraph, GossipGraphBuilder};
 pub use graph::Graph;
 pub use percolation_sim::{percolate, PercolationOutcome};

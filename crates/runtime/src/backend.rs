@@ -15,7 +15,7 @@ use std::time::Duration;
 use gossip_faults::GilbertElliott;
 use gossip_model::loss::LossyGossip;
 use gossip_model::percolation::SitePercolation;
-use gossip_model::scenario::{Backend, MembershipSpec, ProtocolSpec, Report, Scenario};
+use gossip_model::scenario::{Backend, EngineSpec, MembershipSpec, ProtocolSpec, Report, Scenario};
 use gossip_model::{success, ModelError};
 use gossip_stats::descriptive::OnlineStats;
 use gossip_stats::parallel::in_parallel_worker;
@@ -96,6 +96,12 @@ pub fn shard_count(n: usize, max_threads: usize, nested: bool) -> usize {
 }
 
 fn reject_unsupported(scenario: &Scenario, n_cap: Option<usize>) -> Result<(), ModelError> {
+    if scenario.engine == EngineSpec::Flat {
+        return Err(ModelError::Unsupported {
+            backend: "runtime",
+            what: "the flat engine (live actors cannot be vectorized; use the graph or protocol backend)",
+        });
+    }
     if scenario.membership != MembershipSpec::Full {
         return Err(ModelError::Unsupported {
             backend: "runtime",

@@ -13,8 +13,8 @@ use gossip_stats::rng::Xoshiro256StarStar;
 fn executions_bitwise_reproducible() {
     let cfg = ExecutionConfig::new(800, 0.8);
     let dist = PoissonFanout::new(4.0);
-    let a = run_push(&cfg, &dist, 0xABCD);
-    let b = run_push(&cfg, &dist, 0xABCD);
+    let a = run_push(&cfg, &dist, 0xABCD).unwrap();
+    let b = run_push(&cfg, &dist, 0xABCD).unwrap();
     assert_eq!(a, b);
 }
 
@@ -44,8 +44,8 @@ fn histogram_experiment_reproducible() {
 fn different_seeds_differ() {
     let cfg = ExecutionConfig::new(800, 0.8);
     let dist = PoissonFanout::new(4.0);
-    let a = run_push(&cfg, &dist, 1);
-    let b = run_push(&cfg, &dist, 2);
+    let a = run_push(&cfg, &dist, 1).unwrap();
+    let b = run_push(&cfg, &dist, 2).unwrap();
     assert_ne!(a, b, "distinct seeds should give distinct executions");
 }
 
@@ -67,7 +67,7 @@ fn graphs_reproducible() {
 fn scamp_execution_reproducible() {
     let cfg = ExecutionConfig::new(600, 0.9).with_membership(MembershipKind::Scamp { c: 2 });
     let dist = PoissonFanout::new(5.0);
-    let a = run_push(&cfg, &dist, 44);
-    let b = run_push(&cfg, &dist, 44);
+    let a = run_push(&cfg, &dist, 44).unwrap();
+    let b = run_push(&cfg, &dist, 44).unwrap();
     assert_eq!(a, b);
 }

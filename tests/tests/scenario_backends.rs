@@ -171,6 +171,118 @@ fn structured_topologies_agree_across_supporting_backends() {
 }
 
 #[test]
+fn flat_engine_agrees_on_the_fig4_points() {
+    use gossip::{EngineSpec, GraphBackend, ProtocolBackend};
+    // The million-node engine, forced on at Fig. 4 scale: the flat
+    // bitset/percolation kernels must land on the classic engines'
+    // reliabilities at every operating point, on both Monte-Carlo
+    // backends that have a flat path.
+    for &q in &[0.5, 0.7, 0.9] {
+        let scenario = Scenario::new(1000, FanoutSpec::poisson(6.0))
+            .with_failure_ratio(q)
+            .with_replications(30)
+            .with_seed(0xF164);
+        let flat = scenario.clone().with_engine(EngineSpec::Flat);
+        let pairs = [
+            (
+                GraphBackend.evaluate(&scenario).expect("classic graph"),
+                GraphBackend.evaluate(&flat).expect("flat graph"),
+            ),
+            (
+                ProtocolBackend
+                    .evaluate(&scenario)
+                    .expect("classic protocol"),
+                ProtocolBackend.evaluate(&flat).expect("flat protocol"),
+            ),
+        ];
+        for (classic, flat) in &pairs {
+            assert_close(
+                flat.reliability,
+                classic.reliability,
+                0.03,
+                &format!("flat vs classic {} at q={q}", classic.backend),
+            );
+            assert_eq!(
+                flat.scenario, classic.scenario,
+                "the engine knob must not leak into the scenario label"
+            );
+        }
+    }
+}
+
+#[test]
+fn flat_engine_straddles_the_critical_point() {
+    use gossip::{EngineSpec, GraphBackend, ProtocolBackend};
+    // z = 4 → q_c = 0.25; same grid as the classic straddle test, run
+    // through the flat kernels. Subcritical rows collapse, supercritical
+    // rows match the generating-function curve.
+    for &q in &[0.1, 0.2, 0.5, 0.9] {
+        let scenario = Scenario::new(5000, FanoutSpec::poisson(4.0))
+            .with_failure_ratio(q)
+            .with_replications(25)
+            .with_seed(0xC717)
+            .with_engine(EngineSpec::Flat);
+        let analytic = AnalyticBackend
+            .evaluate(&scenario)
+            .expect("analytic prices");
+        let backends: [&dyn Backend; 2] = [&GraphBackend, &ProtocolBackend];
+        for backend in backends {
+            let report = backend.evaluate(&scenario).expect("flat backend evaluates");
+            if q < 0.25 {
+                assert!(
+                    report.reliability < 0.05,
+                    "flat {} at q={q}: subcritical reliability {}",
+                    report.backend,
+                    report.reliability
+                );
+            } else {
+                assert_close(
+                    report.reliability,
+                    analytic.reliability,
+                    0.03,
+                    &format!("flat {} at q={q}", report.backend),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_engine_refusals_and_auto_fallback() {
+    use gossip::{EngineSpec, GraphBackend, NetSimBackend, ProtocolBackend, RuntimeBackend};
+    // Event-driven backends have no flat path: pinning `EngineSpec::Flat`
+    // must be a typed refusal that names the backend, never a panic or a
+    // silent classic run.
+    let scenario = Scenario::new(400, FanoutSpec::poisson(6.0))
+        .with_failure_ratio(0.9)
+        .with_replications(4)
+        .with_engine(EngineSpec::Flat);
+    for (result, expect) in [
+        (NetSimBackend.evaluate(&scenario), "netsim"),
+        (RuntimeBackend::channel().evaluate(&scenario), "runtime"),
+    ] {
+        match result {
+            Err(gossip::ModelError::Unsupported { backend, what }) => {
+                assert_eq!(backend, expect);
+                assert!(what.contains("flat"), "{expect} must name the flat engine");
+            }
+            other => panic!("{expect} must refuse the flat engine, got {other:?}"),
+        }
+    }
+    // `Auto` below the size threshold is the classic engine, to the byte.
+    let auto = scenario.clone().with_engine(EngineSpec::Auto);
+    let classic = scenario.with_engine(EngineSpec::Classic);
+    assert_eq!(
+        GraphBackend.evaluate(&auto).unwrap(),
+        GraphBackend.evaluate(&classic).unwrap()
+    );
+    assert_eq!(
+        ProtocolBackend.evaluate(&auto).unwrap(),
+        ProtocolBackend.evaluate(&classic).unwrap()
+    );
+}
+
+#[test]
 fn scenario_serde_roundtrip() {
     // A scenario exercising every spec enum, including a recursive
     // mixture, a crash schedule, and non-default everything.
