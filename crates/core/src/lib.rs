@@ -133,6 +133,7 @@ pub use gossip_faults::{
     AdversarySpec, AdversaryStrategy, BurstySpec, ChurnSpec, FaultSpec, ZoneFailureSpec,
 };
 pub use gossip_topology::{OverlaySpec, PeerSelection, TopologySpec};
+pub use gossip_traffic::{ArrivalSpec, BatchingSpec, TrafficReport, TrafficSpec};
 pub use model::Gossip;
 pub use percolation::SitePercolation;
 pub use scenario::{

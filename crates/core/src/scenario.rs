@@ -84,6 +84,7 @@ use gossip_faults::{FaultError, FaultReduction, FaultSpec};
 use gossip_stats::parallel::parallel_map;
 use gossip_stats::rng::SplitMix64;
 use gossip_topology::{TopologyError, TopologySpec};
+use gossip_traffic::{TrafficError, TrafficReport, TrafficSpec};
 
 /// Data description of a fanout distribution `P` — every family the
 /// model supports, including recursive mixtures, as plain data that can
@@ -407,6 +408,24 @@ pub struct RuntimeSpec {
     /// disables pacing — the virtual clock still stamps every message,
     /// but nothing sleeps. Capped at 1000 (real time) by validation.
     pub pacing_micros_per_milli: u64,
+    /// Quiescence watchdog for one live execution, in wall-clock
+    /// seconds: a replication still in flight after this long is
+    /// aborted and reported as `NoConvergence`. `0` (default) picks the
+    /// historical 30 s bound; long streams at high k legitimately need
+    /// more. Capped at 3600 by validation.
+    pub watchdog_secs: u64,
+}
+
+impl RuntimeSpec {
+    /// Seconds of the execution watchdog: the configured value, or the
+    /// historical 30 s default when the knob is 0.
+    pub fn watchdog_or_default(&self) -> u64 {
+        if self.watchdog_secs == 0 {
+            30
+        } else {
+            self.watchdog_secs
+        }
+    }
 }
 
 /// Group size at which [`EngineSpec::Auto`] switches the Monte-Carlo
@@ -477,6 +496,12 @@ pub struct Scenario {
     /// correlated zone failures, Gilbert-Elliott bursty loss, and
     /// adversarial link blocking.
     pub faults: FaultSpec,
+    /// Sustained multi-message traffic (default: `None` — the classic
+    /// single-message execution, a strict byte-identical passthrough).
+    /// When set, the source streams k concurrent messages under the
+    /// spec's injection plan, bandwidth cap, bounded send queue, and
+    /// batching policy; backends fill [`Report::traffic`].
+    pub traffic: Option<TrafficSpec>,
     /// Protocol variant (default: the paper's push).
     pub protocol: ProtocolSpec,
     /// Live-runtime execution knobs (thread cap, latency pacing).
@@ -508,6 +533,7 @@ impl Scenario {
             membership: MembershipSpec::Full,
             topology: TopologySpec::default(),
             faults: FaultSpec::default(),
+            traffic: None,
             protocol: ProtocolSpec::Push,
             runtime: RuntimeSpec::default(),
             engine: EngineSpec::default(),
@@ -556,6 +582,12 @@ impl Scenario {
     /// Sets the fault families riding on this scenario.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the sustained multi-message traffic workload.
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = Some(traffic);
         self
     }
 
@@ -619,6 +651,12 @@ impl Scenario {
         } else {
             Some(self.faults.label())
         }
+    }
+
+    /// The traffic label backends put in reports: `None` for the
+    /// default single-message workload, `Some(label)` for streams.
+    pub fn traffic_label(&self) -> Option<String> {
+        self.traffic.as_ref().map(TrafficSpec::label)
     }
 
     /// Checks every parameter domain; backends call this first.
@@ -718,6 +756,34 @@ impl Scenario {
                 requirement: "bursty (Gilbert-Elliott) loss replaces i.i.d. loss; set loss = 0",
             });
         }
+        // Traffic parameters are validated by the traffic crate; its
+        // error type is field-compatible as well, so the mapping is
+        // lossless.
+        if let Some(traffic) = &self.traffic {
+            if let Err(TrafficError {
+                name,
+                value,
+                requirement,
+            }) = traffic.validate()
+            {
+                return Err(ModelError::InvalidParameter {
+                    name,
+                    value,
+                    requirement,
+                });
+            }
+            // The flat struct-of-arrays engine has no multi-message
+            // kernel: streams run on the round-synchronous stream
+            // engine instead, so an explicit Flat request cannot be
+            // honored and must be refused here, not silently rerouted.
+            if self.engine == EngineSpec::Flat {
+                return Err(ModelError::InvalidParameter {
+                    name: "engine",
+                    value: traffic.messages as f64,
+                    requirement: "traffic streams have no flat-engine kernel; use Auto or Classic",
+                });
+            }
+        }
         if self.replications == 0 {
             return Err(ModelError::InvalidParameter {
                 name: "replications",
@@ -742,6 +808,13 @@ impl Scenario {
                 requirement: "latency pacing is capped at 1000 µs/ms (real time)",
             });
         }
+        if self.runtime.watchdog_secs > 3600 {
+            return Err(ModelError::InvalidParameter {
+                name: "watchdog_secs",
+                value: self.runtime.watchdog_secs as f64,
+                requirement: "the quiescence watchdog is capped at 3600 s (0 = the 30 s default)",
+            });
+        }
         Ok(())
     }
 
@@ -763,6 +836,9 @@ impl Scenario {
         }
         if let Some(faults) = self.faults_label() {
             label.push_str(&format!(" {faults}"));
+        }
+        if let Some(traffic) = self.traffic_label() {
+            label.push_str(&format!(" {traffic}"));
         }
         match self.protocol {
             ProtocolSpec::Push => {}
@@ -826,6 +902,13 @@ pub struct Report {
     /// The §4.2 success calculus applied to this backend's reliability:
     /// `1 − (1 − R)^t` for the scenario's `t = executions` (Eq. 5).
     pub success_within_t: f64,
+    /// Stream results when the scenario carries a [`TrafficSpec`]:
+    /// per-message reliability min/mean, sustained messages/sec, and
+    /// delivery-latency percentiles in rounds. `None` (serialized as
+    /// `"traffic":null`) for the classic single-message workload —
+    /// declared last so prior reports differ only by this trailing
+    /// field.
+    pub traffic: Option<TrafficReport>,
 }
 
 impl Report {
@@ -939,6 +1022,39 @@ impl Backend for AnalyticBackend {
             ProtocolSpec::Flood => Some(reliability * (scenario.n as f64 - 1.0)),
             ProtocolSpec::PushPull => None,
         };
+        // Streams: when the offered load k·E[F] fits under the per-node
+        // bandwidth cap the k messages never contend, so the stream is
+        // k independent copies of the single-message process and every
+        // message sees the same closed-form reliability by symmetry.
+        // Contended streams couple messages through queue overflow —
+        // no closed form exists, decline to a simulation backend.
+        let traffic = match &scenario.traffic {
+            None => None,
+            Some(spec) => {
+                let offered = spec.messages as f64 * dist.mean();
+                if spec.bandwidth.is_some_and(|b| offered > b as f64) {
+                    return Err(ModelError::Unsupported {
+                        backend: "analytic",
+                        what: "contended traffic (offered load k·E[F] exceeds the bandwidth \
+                               cap; queue coupling has no closed form — use a simulation \
+                               backend)",
+                    });
+                }
+                Some(TrafficReport {
+                    messages: spec.messages,
+                    reliability_mean: reliability,
+                    reliability_min: reliability,
+                    messages_per_sec: None,
+                    latency_rounds_p50: None,
+                    latency_rounds_p90: None,
+                    latency_rounds_p99: None,
+                    copies_sent: None,
+                    copies_dropped: None,
+                    copies_lost: None,
+                    batched: spec.batched(),
+                })
+            }
+        };
         Ok(Report {
             backend: self.name().to_string(),
             scenario: scenario.label(),
@@ -957,6 +1073,7 @@ impl Backend for AnalyticBackend {
             faults: scenario.faults_label(),
             messages_lost: None,
             success_within_t: success::success_probability(reliability, scenario.executions),
+            traffic,
         })
     }
 }
@@ -1176,6 +1293,7 @@ mod tests {
         let capped = headline().with_runtime(RuntimeSpec {
             max_threads: 100_000,
             pacing_micros_per_milli: 0,
+            watchdog_secs: 0,
         });
         assert!(matches!(
             capped.validate(),
@@ -1187,6 +1305,7 @@ mod tests {
         let paced = headline().with_runtime(RuntimeSpec {
             max_threads: 0,
             pacing_micros_per_milli: 5000,
+            watchdog_secs: 0,
         });
         assert!(matches!(
             paced.validate(),
@@ -1195,6 +1314,21 @@ mod tests {
                 ..
             })
         ));
+        // The watchdog knob is bounded too: nobody waits an hour-plus
+        // on a wedged replication.
+        let waited = headline().with_runtime(RuntimeSpec {
+            max_threads: 0,
+            pacing_micros_per_milli: 0,
+            watchdog_secs: 100_000,
+        });
+        assert!(matches!(
+            waited.validate(),
+            Err(ModelError::InvalidParameter {
+                name: "watchdog_secs",
+                ..
+            })
+        ));
+        assert_eq!(RuntimeSpec::default().watchdog_or_default(), 30);
         // The defaults are always valid.
         assert!(headline()
             .with_runtime(RuntimeSpec::default())
@@ -1508,6 +1642,111 @@ mod tests {
             churned.faults_label().as_deref(),
             Some("churn(j=10,l=10,h=200ms)")
         );
+    }
+
+    #[test]
+    fn validate_rejects_malformed_traffic() {
+        use gossip_traffic::ArrivalSpec;
+        // Traffic errors map losslessly onto InvalidParameter.
+        let cases = [
+            (TrafficSpec::stream(0), "messages"),
+            (TrafficSpec::stream(4).with_bandwidth(0), "bandwidth"),
+            (
+                TrafficSpec::stream(4).with_queue_capacity(0),
+                "queue_capacity",
+            ),
+            (TrafficSpec::stream(4).with_piggyback(0), "frame_limit"),
+            (
+                TrafficSpec::stream(4).with_arrival(ArrivalSpec::Poisson {
+                    rate_per_round: -0.5,
+                }),
+                "rate_per_round",
+            ),
+            (
+                TrafficSpec::stream(4).with_arrival(ArrivalSpec::FixedInterval { every_rounds: 0 }),
+                "every_rounds",
+            ),
+        ];
+        for (spec, field) in cases {
+            match headline().with_traffic(spec).validate() {
+                Err(ModelError::InvalidParameter { name, .. }) => assert_eq!(name, field),
+                other => panic!("expected InvalidParameter({field}), got {other:?}"),
+            }
+        }
+        // Streams have no flat-engine kernel: an explicit Flat request
+        // is refused up front.
+        let flat = headline()
+            .with_traffic(TrafficSpec::stream(4))
+            .with_engine(EngineSpec::Flat);
+        assert!(matches!(
+            flat.validate(),
+            Err(ModelError::InvalidParameter { name: "engine", .. })
+        ));
+        // Auto stays fine — streams run on the stream engine at any n.
+        assert!(headline()
+            .with_traffic(TrafficSpec::stream(4))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn scenario_label_mentions_traffic() {
+        assert_eq!(headline().traffic_label(), None);
+        let streamed = headline().with_traffic(TrafficSpec::stream(16).with_bandwidth(4));
+        assert!(streamed.label().contains("stream(k=16,B=4,q=1024)"));
+    }
+
+    #[test]
+    fn analytic_reduces_uncontended_traffic_and_declines_contended() {
+        // Uncapped (or roomy) bandwidth: k i.i.d. copies of the single
+        // closed form — the headline reliability, per message.
+        let uncontended = headline().with_traffic(TrafficSpec::stream(4).with_bandwidth(64));
+        let report = AnalyticBackend.evaluate(&uncontended).unwrap();
+        let traffic = report.traffic.expect("stream scenarios fill the section");
+        assert_eq!(traffic.messages, 4);
+        assert!((traffic.reliability_mean - report.reliability).abs() < 1e-12);
+        assert!((traffic.reliability_min - report.reliability).abs() < 1e-12);
+        assert_eq!(traffic.messages_per_sec, None, "analytic has no clock");
+        // 4 messages × E[F]=4 > B=8: queue coupling, no closed form.
+        let contended = headline().with_traffic(TrafficSpec::stream(4).with_bandwidth(8));
+        assert!(matches!(
+            AnalyticBackend.evaluate(&contended),
+            Err(ModelError::Unsupported {
+                backend: "analytic",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn scenario_and_report_round_trip_with_traffic() {
+        use gossip_traffic::ArrivalSpec;
+        let scenario = headline().with_traffic(
+            TrafficSpec::stream(16)
+                .with_bandwidth(4)
+                .with_piggyback(8)
+                .with_arrival(ArrivalSpec::Poisson {
+                    rate_per_round: 0.5,
+                }),
+        );
+        let json = serde::json::to_string(&scenario).unwrap();
+        let back: Scenario = serde::json::from_str(&json).unwrap();
+        assert_eq!(scenario, back);
+        // Default scenarios serialize the field as null.
+        let json = serde::json::to_string(&headline()).unwrap();
+        assert!(json.contains("\"traffic\":null"), "{json}");
+        // Reports round-trip with the traffic section filled...
+        let report = AnalyticBackend
+            .evaluate(&headline().with_traffic(TrafficSpec::stream(4)))
+            .unwrap();
+        let json = serde::json::to_string(&report).unwrap();
+        let back: Report = serde::json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        // ...and classic reports end with the trailing null field, so
+        // prior archived reports differ only by this suffix.
+        let report = AnalyticBackend.evaluate(&headline()).unwrap();
+        let json = serde::json::to_string(&report).unwrap();
+        assert!(json.ends_with(",\"traffic\":null}"), "{json}");
     }
 
     #[test]

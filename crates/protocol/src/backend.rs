@@ -175,7 +175,7 @@ fn run_variant(
 /// into take-off vs fizzle (threshold = half the prediction, the
 /// convention of the figure harness). Falls back to 0.5 when the model
 /// cannot price the scenario (e.g. crash schedules).
-fn takeoff_threshold(scenario: &Scenario, dist: &dyn FanoutDistribution) -> f64 {
+pub(crate) fn takeoff_threshold(scenario: &Scenario, dist: &dyn FanoutDistribution) -> f64 {
     let q = scenario.q().unwrap_or(1.0);
     // Bursty loss folds in at its stationary mean: the prediction is an
     // upper bound (burstiness only hurts more), which is all a take-off
@@ -269,6 +269,7 @@ fn evaluate_monte_carlo(
         faults: scenario.faults_label(),
         messages_lost: None,
         success_within_t: success::success_probability(reliability, scenario.executions),
+        traffic: None,
     })
 }
 
@@ -384,6 +385,7 @@ fn evaluate_flat_push(
         faults: scenario.faults_label(),
         messages_lost: None,
         success_within_t: success::success_probability(reliability, scenario.executions),
+        traffic: None,
     })
 }
 
@@ -420,6 +422,11 @@ impl Backend for ProtocolBackend {
                 })
             }
         };
+        if scenario.traffic.is_some() {
+            // Streams run on the round-based stream engine: untimed
+            // here (the §5 idealization), timed on the netsim backend.
+            return crate::traffic_eval::evaluate_stream(self.name(), scenario, None);
+        }
         check_churn_support(self.name(), scenario)?;
         let membership = membership_kind(self.name(), scenario)?;
         if scenario.engine.flat_for(scenario.n) {
@@ -460,6 +467,13 @@ impl Backend for NetSimBackend {
                 backend: "netsim",
                 what: "the flat engine (timing metrics need the event-driven simulator; use the graph or protocol backend)",
             });
+        }
+        if scenario.traffic.is_some() {
+            // Streams run on the round-based stream engine with loss
+            // applied per frame; the constant hop latency prices
+            // rounds into seconds and sustained messages/sec.
+            let ms = crate::traffic_eval::stream_hop_millis(scenario)?;
+            return crate::traffic_eval::evaluate_stream(self.name(), scenario, Some(ms));
         }
         // q feeds ExecutionConfig validation only; scheduled-crash
         // scenarios run with the explicit plan and q = 1 here.
@@ -772,6 +786,82 @@ mod tests {
             .evaluate(&headline(5).with_protocol(ProtocolSpec::Flood))
             .unwrap();
         assert!(auto.reliability > 0.999);
+    }
+
+    #[test]
+    fn uncontended_stream_matches_the_single_message_estimator() {
+        use gossip_model::TrafficSpec;
+        let scenario = headline(15).with_traffic(TrafficSpec::stream(4));
+        let analytic = AnalyticBackend.evaluate(&scenario).unwrap();
+        let report = ProtocolBackend.evaluate(&scenario).unwrap();
+        let traffic = report.traffic.as_ref().unwrap();
+        assert_eq!(traffic.messages, 4);
+        assert!(
+            (traffic.reliability_mean - analytic.reliability).abs() < 0.03,
+            "stream mean {} vs analytic {}",
+            traffic.reliability_mean,
+            analytic.reliability
+        );
+        assert!(traffic.reliability_min <= traffic.reliability_mean);
+        assert!(traffic.latency_rounds_p50.unwrap() >= 1.0);
+        assert!(traffic.latency_rounds_p99.unwrap() >= traffic.latency_rounds_p50.unwrap());
+        // The protocol stream is untimed, exactly like the classic run.
+        assert!(report.quiescence_secs.is_none());
+        assert!(traffic.messages_per_sec.is_none());
+        let again = ProtocolBackend.evaluate(&scenario).unwrap();
+        assert_eq!(report, again, "streams must be seed-deterministic");
+    }
+
+    #[test]
+    fn netsim_stream_is_timed_and_honours_loss() {
+        use gossip_model::TrafficSpec;
+        let scenario = Scenario::new(2000, FanoutSpec::poisson(6.0))
+            .with_failure_ratio(0.9)
+            .with_loss(0.25)
+            .with_replications(10)
+            .with_traffic(TrafficSpec::stream(4));
+        let analytic = AnalyticBackend.evaluate(&scenario).unwrap();
+        let report = NetSimBackend.evaluate(&scenario).unwrap();
+        let traffic = report.traffic.as_ref().unwrap();
+        assert!(
+            (traffic.reliability_mean - analytic.reliability).abs() < 0.04,
+            "lossy stream mean {} vs analytic {}",
+            traffic.reliability_mean,
+            analytic.reliability
+        );
+        assert!(report.quiescence_secs.unwrap() > 0.0);
+        assert!(traffic.messages_per_sec.unwrap() > 0.0);
+        assert!(traffic.copies_lost.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stream_refusals_are_typed() {
+        use gossip_model::TrafficSpec;
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        let stream = |s: Scenario| s.with_traffic(TrafficSpec::stream(4));
+        assert!(matches!(
+            ProtocolBackend.evaluate(&stream(headline(5).with_protocol(ProtocolSpec::Flood))),
+            Err(ModelError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            ProtocolBackend.evaluate(&stream(
+                headline(5).with_membership(MembershipSpec::Scamp { c: 2 })
+            )),
+            Err(ModelError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            NetSimBackend.evaluate(&stream(
+                headline(5).with_topology(TopologySpec::new(OverlaySpec::Ring { shortcuts: 2000 }))
+            )),
+            Err(ModelError::Unsupported { .. })
+        ));
+        // Rounds cannot price a stochastic per-frame latency.
+        assert!(matches!(
+            NetSimBackend.evaluate(&stream(
+                headline(5).with_latency(LatencySpec::ExponentialMillis { mean_ms: 10 })
+            )),
+            Err(ModelError::Unsupported { .. })
+        ));
     }
 
     #[test]

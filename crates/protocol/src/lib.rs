@@ -46,6 +46,7 @@ pub mod metrics;
 pub mod push;
 pub mod pushpull;
 pub mod rounds;
+pub(crate) mod traffic_eval;
 
 pub use backend::{NetSimBackend, ProtocolBackend};
 pub use engine::{ExecutionConfig, ExecutionOutcome, MembershipKind};

@@ -1,0 +1,290 @@
+//! Stream (multi-message traffic) evaluation shared by the protocol
+//! and netsim backends.
+//!
+//! When a [`Scenario`] carries a [`TrafficSpec`], both backends hand the
+//! workload to `gossip-traffic`'s round-synchronous stream engine
+//! instead of the per-message discrete-event simulator: per-round event
+//! coalescing and arena-reused per-message state keep k = 64 streams at
+//! n = 10⁴ fast, where k independent event-driven runs would replay the
+//! calendar k times over.
+//!
+//! The two backends differ only in clocking:
+//!
+//! * **protocol** — the §5 idealization: untimed and lossless (loss is
+//!   already refused upstream), latency percentiles reported in rounds.
+//! * **netsim** — timed: per-frame loss applies, and the constant hop
+//!   latency converts rounds to seconds, pricing `quiescence_secs` and
+//!   sustained `messages_per_sec`. Only
+//!   [`LatencySpec::ConstantMillis`] is supported — the stream engine's
+//!   calendar is round-synchronous, so a stochastic per-frame latency
+//!   has no faithful mapping and is refused rather than approximated.
+//!
+//! Streams run the paper's base model: complete view, push relay,
+//! static crash-or-alive members with an immortal source. Everything
+//! else (partial views, overlays, dynamic faults, crash schedules,
+//! flood/push-pull) is a typed [`ModelError::Unsupported`] refusal.
+//!
+//! Reliability stays per message: each message's delivery fraction is
+//! conditioned on take-off exactly like the single-message estimator
+//! (threshold = half the analytic prediction), so the uncontended
+//! stream reproduces the single-message curves message by message.
+
+use gossip_engine::FanoutSampler;
+use gossip_model::distribution::FanoutDistribution;
+use gossip_model::percolation::SitePercolation;
+use gossip_model::scenario::{
+    FailureSpec, LatencySpec, MembershipSpec, ProtocolSpec, Report, Scenario,
+};
+use gossip_model::{success, ModelError};
+use gossip_stats::descriptive::OnlineStats;
+use gossip_stats::parallel::parallel_map;
+use gossip_stats::rng::{SplitMix64, Xoshiro256StarStar};
+use gossip_traffic::{
+    injection_rounds, percentile, run_stream, StreamCounters, StreamParams, StreamScratch,
+    TrafficReport, TRAFFIC_PLAN_STREAM,
+};
+
+use crate::backend::takeoff_threshold;
+
+/// Seed-stream tag for the per-replication stream execution RNG (alive
+/// draw + engine), disjoint from the workspace's other tagged streams
+/// (`0x7AFF1C` injection plans, `0xFA11` failure draws, ...).
+const STREAM_EXEC: u64 = 0x7AFF2C;
+
+/// One replication's digest: per-message delivery fractions among alive
+/// members, rounds to quiescence, and the exact copy accounting.
+struct RepOutcome {
+    per_message: Vec<f64>,
+    rounds: u64,
+    counters: StreamCounters,
+    alive: usize,
+}
+
+/// Why this scenario's stream cannot run, if it can't. Both stream
+/// backends model exactly the paper's base system — complete view, push
+/// relay, static crashes, immortal source — so everything else refuses
+/// with a typed error instead of silently approximating.
+fn check_stream_support(backend: &'static str, scenario: &Scenario) -> Result<(), ModelError> {
+    let what = if scenario.protocol != ProtocolSpec::Push {
+        Some("multi-message traffic for flood/push-pull variants (streams use the push relay)")
+    } else if scenario.membership != MembershipSpec::Full {
+        Some("multi-message traffic over partial views (streams run on the complete view)")
+    } else if !scenario.topology.is_default() {
+        Some("multi-message traffic over structured overlays (streams run on the complete view)")
+    } else if !scenario.faults.is_default() {
+        Some("multi-message traffic under dynamic fault injection (streams model static crashes only)")
+    } else if matches!(scenario.failure, FailureSpec::Schedule { .. }) {
+        Some("crash schedules under multi-message traffic (streams draw static crashes from q)")
+    } else {
+        None
+    };
+    match what {
+        Some(what) => Err(ModelError::Unsupported { backend, what }),
+        None => Ok(()),
+    }
+}
+
+/// Evaluates the scenario's [`TrafficSpec`] stream on the round-based
+/// engine. `hop_millis` is `Some(ms)` for the timed netsim run (rounds
+/// are priced at the constant hop latency) and `None` for the untimed
+/// protocol run.
+pub(crate) fn evaluate_stream(
+    backend_name: &'static str,
+    scenario: &Scenario,
+    hop_millis: Option<u64>,
+) -> Result<Report, ModelError> {
+    check_stream_support(backend_name, scenario)?;
+    let spec = scenario
+        .traffic
+        .expect("evaluate_stream is only dispatched when traffic is present");
+    let q = scenario
+        .q()
+        .expect("crash schedules were refused by check_stream_support");
+    let boxed = scenario.fanout.build()?;
+    let dist: &dyn FanoutDistribution = &*boxed;
+    let sampler = FanoutSampler::new(dist);
+    let n = scenario.n;
+    let k = spec.messages;
+    let injections = injection_rounds(
+        &spec.arrival,
+        k,
+        SplitMix64::derive(scenario.seed, TRAFFIC_PLAN_STREAM),
+    );
+
+    let reps = scenario.replications;
+    let (chunks, bounds) = gossip_engine::chunk_bounds(reps);
+    let per_chunk: Vec<(Vec<RepOutcome>, Vec<u64>)> = parallel_map(chunks, |chunk| {
+        let mut scratch = StreamScratch::new();
+        let mut hist: Vec<u64> = Vec::new();
+        let mut alive = vec![true; n];
+        let outcomes = bounds(chunk)
+            .map(|rep| {
+                let seed = SplitMix64::derive(scenario.seed, rep as u64);
+                let mut rng = Xoshiro256StarStar::new(SplitMix64::derive(seed, STREAM_EXEC));
+                // Static crash draw, source immortal (the paper's site
+                // percolation: each member nonfailed w.p. q).
+                alive[0] = true;
+                for flag in alive.iter_mut().skip(1) {
+                    *flag = rng.next_bool(q);
+                }
+                let alive_count = alive.iter().filter(|&&a| a).count();
+                let p = StreamParams {
+                    n,
+                    source: 0,
+                    injections: &injections,
+                    bandwidth: spec.bandwidth,
+                    queue_capacity: spec.queue_capacity,
+                    frame_limit: spec.frame_limit(),
+                    loss: scenario.loss,
+                    alive: &alive,
+                };
+                let out = run_stream(
+                    &p,
+                    &mut scratch,
+                    &mut rng,
+                    &mut |r| sampler.sample(dist, r),
+                    &mut hist,
+                );
+                RepOutcome {
+                    per_message: out
+                        .reached
+                        .iter()
+                        .map(|&r| r as f64 / alive_count.max(1) as f64)
+                        .collect(),
+                    rounds: out.rounds,
+                    counters: out.counters,
+                    alive: alive_count,
+                }
+            })
+            .collect();
+        (outcomes, hist)
+    });
+
+    // Merge the per-chunk latency histograms (delivery delay in rounds
+    // since each message's injection).
+    let mut hist: Vec<u64> = Vec::new();
+    for (_, chunk_hist) in &per_chunk {
+        if hist.len() < chunk_hist.len() {
+            hist.resize(chunk_hist.len(), 0);
+        }
+        for (total, &count) in hist.iter_mut().zip(chunk_hist) {
+            *total += count;
+        }
+    }
+
+    // Per-message take-off conditioning with the single-message
+    // threshold: under an uncontended cap every message is an
+    // independent execution of the paper's protocol.
+    let threshold = takeoff_threshold(scenario, dist);
+    let mut per_message: Vec<OnlineStats> = (0..k).map(|_| OnlineStats::new()).collect();
+    let mut conditional = OnlineStats::new();
+    let mut raw = OnlineStats::new();
+    let mut rounds = OnlineStats::new();
+    let mut per_member = OnlineStats::new();
+    let mut sent = OnlineStats::new();
+    let mut dropped = OnlineStats::new();
+    let mut lost = OnlineStats::new();
+    let mut quiescence = OnlineStats::new();
+    let mut throughput = OnlineStats::new();
+    let mut takeoffs = 0usize;
+    let mut samples = 0usize;
+    for outcome in per_chunk.iter().flat_map(|(outcomes, _)| outcomes) {
+        let mut any_takeoff = false;
+        for (message, &r) in outcome.per_message.iter().enumerate() {
+            samples += 1;
+            raw.push(r);
+            if r > threshold {
+                takeoffs += 1;
+                any_takeoff = true;
+                conditional.push(r);
+                per_message[message].push(r);
+            }
+        }
+        if any_takeoff {
+            rounds.push(outcome.rounds as f64);
+            if let Some(ms) = hop_millis {
+                let secs = outcome.rounds as f64 * ms as f64 / 1000.0;
+                quiescence.push(secs);
+                if secs > 0.0 {
+                    throughput.push(k as f64 / secs);
+                }
+            }
+        }
+        let c = &outcome.counters;
+        per_member.push(c.copies_sent as f64 / outcome.alive.max(1) as f64);
+        sent.push(c.copies_sent as f64);
+        dropped.push(c.copies_dropped as f64);
+        lost.push(c.copies_lost as f64);
+    }
+
+    let means: Vec<f64> = per_message
+        .iter()
+        .map(|s| if s.count() == 0 { 0.0 } else { s.mean() })
+        .collect();
+    let reliability_mean = means.iter().sum::<f64>() / k as f64;
+    let reliability_min = means.iter().copied().fold(f64::INFINITY, f64::min);
+    let reliability = if conditional.count() == 0 {
+        0.0
+    } else {
+        conditional.mean()
+    };
+    let ci = conditional.ci95();
+    let critical_q = SitePercolation::new(dist, 1.0)?.critical_q();
+    Ok(Report {
+        backend: backend_name.to_string(),
+        scenario: scenario.label(),
+        replications: reps,
+        reliability,
+        reliability_std_error: conditional.sem(),
+        reliability_ci95: (ci.lo, ci.hi),
+        reliability_raw: Some(raw.mean()),
+        critical_q,
+        takeoff_rate: Some(takeoffs as f64 / samples.max(1) as f64),
+        rounds: if rounds.count() == 0 {
+            None
+        } else {
+            Some(rounds.mean())
+        },
+        messages_per_member: Some(per_member.mean()),
+        quiescence_secs: if quiescence.count() == 0 {
+            None
+        } else {
+            Some(quiescence.mean())
+        },
+        transport: None,
+        topology: scenario.topology_label(),
+        faults: scenario.faults_label(),
+        messages_lost: None,
+        success_within_t: success::success_probability(reliability, scenario.executions),
+        traffic: Some(TrafficReport {
+            messages: k,
+            reliability_mean,
+            reliability_min,
+            messages_per_sec: if throughput.count() == 0 {
+                None
+            } else {
+                Some(throughput.mean())
+            },
+            latency_rounds_p50: percentile(&hist, 0.50),
+            latency_rounds_p90: percentile(&hist, 0.90),
+            latency_rounds_p99: percentile(&hist, 0.99),
+            copies_sent: Some(sent.mean()),
+            copies_dropped: Some(dropped.mean()),
+            copies_lost: Some(lost.mean()),
+            batched: spec.batched(),
+        }),
+    })
+}
+
+/// The netsim stream refuses non-constant latency: the stream engine's
+/// calendar is round-synchronous, so stochastic per-frame delay has no
+/// faithful mapping onto it.
+pub(crate) fn stream_hop_millis(scenario: &Scenario) -> Result<u64, ModelError> {
+    match scenario.latency {
+        LatencySpec::ConstantMillis { ms } => Ok(ms),
+        _ => Err(ModelError::Unsupported {
+            backend: "netsim",
+            what: "multi-message traffic under stochastic latency (the stream engine is round-synchronous; use ConstantMillis)",
+        }),
+    }
+}

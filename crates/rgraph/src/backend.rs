@@ -86,6 +86,13 @@ impl Backend for GraphBackend {
                 what,
             });
         }
+        if scenario.traffic.is_some() {
+            return Err(ModelError::Unsupported {
+                backend: "graph",
+                what: "multi-message traffic (a static percolation census has no rounds, \
+                       queues, or bandwidth)",
+            });
+        }
         let dist = scenario.fanout.build()?;
         let flat = scenario.engine.flat_for(scenario.n);
         // Static faults (zone kills, adversarial blocking) need a source
@@ -141,6 +148,7 @@ impl Backend for GraphBackend {
             faults: scenario.faults_label(),
             messages_lost: None,
             success_within_t: success::success_probability(reliability, scenario.executions),
+            traffic: None,
         })
     }
 }
@@ -196,6 +204,7 @@ fn evaluate_flat_default(
         faults: scenario.faults_label(),
         messages_lost: None,
         success_within_t: success::success_probability(reliability, scenario.executions),
+        traffic: None,
     })
 }
 
@@ -412,6 +421,7 @@ fn structured_report(
         faults: scenario.faults_label(),
         messages_lost: None,
         success_within_t: success::success_probability(reliability, scenario.executions),
+        traffic: None,
     })
 }
 

@@ -27,12 +27,7 @@ use crate::tcp::TcpTransport;
 use crate::transport::Transport;
 
 /// The member the broadcast is injected at.
-const SOURCE: u32 = 0;
-
-/// Watchdog deadline for a single execution: far beyond any healthy
-/// quiescence time, tight enough that a wedged transport fails the run
-/// instead of hanging the caller.
-const EXECUTION_DEADLINE: Duration = Duration::from_secs(30);
+pub(crate) const SOURCE: u32 = 0;
 
 /// Group-size ceiling for the TCP transport: each alive member holds an
 /// open listener, so `n` is bounded by the process fd budget.
@@ -160,7 +155,10 @@ fn evaluate_over<T: Transport>(
         flood: scenario.protocol == ProtocolSpec::Flood,
         shards,
         pacing_micros_per_milli: scenario.runtime.pacing_micros_per_milli,
-        deadline: EXECUTION_DEADLINE,
+        // The watchdog knob: far beyond any healthy quiescence time,
+        // tight enough that a wedged transport fails the run instead of
+        // hanging the caller. 0 = the 30 s default.
+        deadline: Duration::from_secs(scenario.runtime.watchdog_or_default()),
     };
 
     // Replications run sequentially: each one already fans out over the
@@ -250,6 +248,7 @@ fn evaluate_over<T: Transport>(
         faults: scenario.faults_label(),
         messages_lost: Some(lost.mean()),
         success_within_t: success::success_probability(reliability, scenario.executions),
+        traffic: None,
     })
 }
 
@@ -266,10 +265,24 @@ impl Backend for RuntimeBackend {
         match self.transport {
             TransportKind::Channel => {
                 reject_unsupported(scenario, None)?;
+                if scenario.traffic.is_some() {
+                    return crate::stream::evaluate_stream_over(
+                        &ChannelTransport,
+                        scenario,
+                        self.name().into(),
+                    );
+                }
                 evaluate_over(&ChannelTransport, scenario, self.name().into())
             }
             TransportKind::Tcp => {
                 reject_unsupported(scenario, Some(TCP_MAX_GROUP))?;
+                if scenario.traffic.is_some() {
+                    return crate::stream::evaluate_stream_over(
+                        &TcpTransport,
+                        scenario,
+                        self.name().into(),
+                    );
+                }
                 evaluate_over(&TcpTransport, scenario, self.name().into())
             }
         }
@@ -512,6 +525,87 @@ mod tests {
     }
 
     #[test]
+    fn live_stream_matches_analytic_on_channel() {
+        use gossip_model::TrafficSpec;
+        let scenario = headline(400, 8).with_traffic(TrafficSpec::stream(4));
+        let analytic = AnalyticBackend.evaluate(&scenario).unwrap();
+        let live = RuntimeBackend::channel().evaluate(&scenario).unwrap();
+        let traffic = live.traffic.as_ref().unwrap();
+        assert_eq!(traffic.messages, 4);
+        assert!(
+            (traffic.reliability_mean - analytic.reliability).abs() < 0.06,
+            "live stream mean {} vs analytic {}",
+            traffic.reliability_mean,
+            analytic.reliability
+        );
+        assert!(traffic.reliability_min <= traffic.reliability_mean);
+        // Timing rides the virtual clock: throughput and latency
+        // percentiles are present, wall-clock quiescence is not.
+        assert!(traffic.messages_per_sec.unwrap() > 0.0);
+        assert!(traffic.latency_rounds_p50.unwrap() >= 1.0);
+        assert_eq!(live.quiescence_secs, None);
+        assert_eq!(live.transport.as_deref(), Some("channel"));
+    }
+
+    #[test]
+    fn live_stream_runs_over_tcp() {
+        use gossip_model::TrafficSpec;
+        let scenario = Scenario::new(64, FanoutSpec::poisson(6.0))
+            .with_replications(2)
+            .with_traffic(TrafficSpec::stream(3));
+        let live = RuntimeBackend::tcp().evaluate(&scenario).unwrap();
+        let traffic = live.traffic.as_ref().unwrap();
+        assert_eq!(live.transport.as_deref(), Some("tcp"));
+        assert!(
+            traffic.reliability_mean > 0.9,
+            "fault-free tcp stream mean = {}",
+            traffic.reliability_mean
+        );
+    }
+
+    #[test]
+    fn live_stream_batches_under_a_bandwidth_cap() {
+        use gossip_model::TrafficSpec;
+        let spec = TrafficSpec::stream(16)
+            .with_bandwidth(2)
+            .with_queue_capacity(8)
+            .with_piggyback(8);
+        let scenario = Scenario::new(200, FanoutSpec::poisson(4.0))
+            .with_replications(4)
+            .with_traffic(spec);
+        let live = RuntimeBackend::channel().evaluate(&scenario).unwrap();
+        let traffic = live.traffic.as_ref().unwrap();
+        assert!(traffic.batched);
+        assert!(traffic.copies_sent.unwrap() > 0.0);
+        assert!(traffic.reliability_min <= traffic.reliability_mean);
+    }
+
+    #[test]
+    fn live_stream_refusals_are_typed() {
+        use gossip_model::TrafficSpec;
+        use gossip_topology::{OverlaySpec, TopologySpec};
+        let stream = |s: Scenario| s.with_traffic(TrafficSpec::stream(4));
+        assert!(matches!(
+            RuntimeBackend::channel()
+                .evaluate(&stream(headline(100, 2).with_protocol(ProtocolSpec::Flood))),
+            Err(ModelError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            RuntimeBackend::channel().evaluate(&stream(
+                headline(100, 2).with_latency(LatencySpec::ExponentialMillis { mean_ms: 5 })
+            )),
+            Err(ModelError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            RuntimeBackend::tcp()
+                .evaluate(&stream(headline(100, 2).with_topology(TopologySpec::new(
+                    OverlaySpec::Ring { shortcuts: 100 }
+                )))),
+            Err(ModelError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
     fn shard_count_policy() {
         // Nested inside a parallel_map worker: always one shard.
         assert_eq!(shard_count(1000, 0, true), 1);
@@ -531,6 +625,7 @@ mod tests {
         let paced = base.clone().with_runtime(RuntimeSpec {
             max_threads: 0,
             pacing_micros_per_milli: 50,
+            watchdog_secs: 0,
         });
         let fast = RuntimeBackend::channel().evaluate(&base).unwrap();
         let t0 = std::time::Instant::now();

@@ -275,6 +275,7 @@ impl Actor {
                         from: self.id,
                         hop: msg.hop + 1,
                         arrival_virtual_ns: msg.arrival_virtual_ns.saturating_add(latency_ns),
+                        ids: Vec::new(),
                     },
                 });
             }

@@ -49,6 +49,7 @@
 pub mod backend;
 pub mod channel;
 mod exec;
+mod stream;
 pub mod tcp;
 pub mod transport;
 pub mod wire;

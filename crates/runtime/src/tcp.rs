@@ -159,6 +159,7 @@ mod tests {
             from: 0,
             hop: 2,
             arrival_virtual_ns: 42,
+            ids: vec![7, 9],
         };
         assert!(a.send(1, &msg));
         // Non-blocking poll: spin briefly until the kernel delivers.

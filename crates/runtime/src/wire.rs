@@ -27,6 +27,12 @@ pub struct WireMessage {
     /// Virtual arrival time at the destination, in nanoseconds since
     /// injection.
     pub arrival_virtual_ns: u64,
+    /// Piggybacked stream-message indices riding on this frame. Empty
+    /// for the classic single-message broadcast; a multi-message stream
+    /// ([`TrafficSpec`](gossip_model::TrafficSpec)) packs up to
+    /// `frame_limit` indices per frame, amortizing one fanout draw and
+    /// one frame-budget slot over all of them.
+    pub ids: Vec<u32>,
 }
 
 impl WireMessage {
@@ -37,6 +43,7 @@ impl WireMessage {
             from: source,
             hop: 0,
             arrival_virtual_ns: 0,
+            ids: Vec::new(),
         }
     }
 }
@@ -52,9 +59,25 @@ mod tests {
             from: 7,
             hop: 3,
             arrival_virtual_ns: 12_500_000,
+            ids: Vec::new(),
         };
         let line = serde::json::to_string(&msg).unwrap();
         assert!(line.contains("\"hop\":3"));
+        let back: WireMessage = serde::json::from_str(&line).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn piggybacked_ids_roundtrip() {
+        let msg = WireMessage {
+            id: 1,
+            from: 0,
+            hop: 2,
+            arrival_virtual_ns: 42,
+            ids: vec![3, 1, 4, 1, 5],
+        };
+        let line = serde::json::to_string(&msg).unwrap();
+        assert!(line.contains("\"ids\":[3,1,4,1,5]"));
         let back: WireMessage = serde::json::from_str(&line).unwrap();
         assert_eq!(back, msg);
     }

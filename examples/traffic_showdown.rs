@@ -1,0 +1,134 @@
+//! Traffic showdown: what a sustained multi-message stream does to the
+//! paper's single-message reliability story, demonstrated on the
+//! Monte-Carlo protocol backend.
+//!
+//! 1. **Uncontended streams are just k independent broadcasts.** With no
+//!    bandwidth cap, a k = 4 stream's per-message reliability matches
+//!    the closed-form single-message prediction (Eq. 11) — the i.i.d.
+//!    analysis extends for free.
+//! 2. **Contention breaks that story, and batching repairs it.** Cap
+//!    every node at B = 2 frames per round and inject a k = 16 burst:
+//!    relaying one id per frame floods the bounded send queue, drops
+//!    most copies as overflow, and per-message reliability collapses.
+//!    Rumor piggybacking (up to 8 ids per frame) moves the same copies
+//!    in an eighth of the frames and sustains delivery *at the same B*.
+//!
+//! Both assertions make this example a regression test for the traffic
+//! subsystem's headline behaviours.
+//!
+//! ```sh
+//! cargo run --release --example traffic_showdown
+//! ```
+
+use gossip::{AnalyticBackend, Backend, FanoutSpec, ProtocolBackend, Scenario, TrafficSpec};
+
+fn traffic(report: &gossip::Report) -> &gossip::TrafficReport {
+    report
+        .traffic
+        .as_ref()
+        .expect("stream scenarios report a traffic section")
+}
+
+/// An uncapped k = 4 stream against the closed-form single-message
+/// prediction.
+fn uncontended_matches_prediction() {
+    let base = Scenario::new(1000, FanoutSpec::poisson(4.0))
+        .with_failure_ratio(0.9)
+        .with_replications(30)
+        .with_seed(0x7A11)
+        .with_traffic(TrafficSpec::stream(4));
+    let predicted = AnalyticBackend
+        .evaluate(&base)
+        .expect("uncontended streams reduce to the closed form");
+    let measured = ProtocolBackend
+        .evaluate(&base)
+        .expect("protocol runs streams in-engine");
+    let (p, m) = (traffic(&predicted), traffic(&measured));
+
+    println!("uncontended stream — n = 1000, Po(4), q = 0.9, k = 4, no cap");
+    println!(
+        "  Eq. 11 per message (analytic) : R = {:.4}",
+        p.reliability_mean
+    );
+    println!(
+        "  measured per-message mean     : R = {:.4}",
+        m.reliability_mean
+    );
+    println!(
+        "  measured per-message min      : R = {:.4}",
+        m.reliability_min
+    );
+    assert!(
+        (m.reliability_mean - p.reliability_mean).abs() < 0.05,
+        "an uncontended stream must match the single-message closed form \
+         ({:.4} vs {:.4})",
+        m.reliability_mean,
+        p.reliability_mean
+    );
+}
+
+/// A k = 16 burst under a B = 2 frames/round cap, with and without
+/// rumor piggybacking.
+fn batching_survives_contention() {
+    let base = Scenario::new(1000, FanoutSpec::poisson(4.0))
+        .with_replications(30)
+        .with_seed(0x7A22);
+    let stream = TrafficSpec::stream(16)
+        .with_bandwidth(2)
+        .with_queue_capacity(32);
+    let uncapped = ProtocolBackend
+        .evaluate(&base.clone().with_traffic(TrafficSpec::stream(16)))
+        .expect("uncapped stream evaluates");
+    let unbatched = ProtocolBackend
+        .evaluate(&base.clone().with_traffic(stream))
+        .expect("capped unbatched stream evaluates");
+    let batched = ProtocolBackend
+        .evaluate(&base.clone().with_traffic(stream.with_piggyback(8)))
+        .expect("capped batched stream evaluates");
+    let (free, solo, piggy) = (traffic(&uncapped), traffic(&unbatched), traffic(&batched));
+
+    println!("\ncontention showdown — n = 1000, Po(4), q = 1, k = 16 burst");
+    println!(
+        "  no cap                         : mean R = {:.4}  (dropped {:>9.0})",
+        free.reliability_mean,
+        free.copies_dropped.unwrap_or(0.0)
+    );
+    println!(
+        "  B = 2, one id per frame        : mean R = {:.4}  (dropped {:>9.0})",
+        solo.reliability_mean,
+        solo.copies_dropped.unwrap_or(0.0)
+    );
+    println!(
+        "  B = 2, piggyback up to 8 ids   : mean R = {:.4}  (dropped {:>9.0})",
+        piggy.reliability_mean,
+        piggy.copies_dropped.unwrap_or(0.0)
+    );
+    assert!(
+        solo.reliability_mean < free.reliability_mean - 0.1,
+        "a k=16 burst against B=2 single-id frames must collapse well below \
+         the uncapped stream ({:.4} vs {:.4})",
+        solo.reliability_mean,
+        free.reliability_mean
+    );
+    assert!(
+        piggy.reliability_mean >= solo.reliability_mean + 0.1,
+        "at the same B, piggybacking must sustain per-message reliability the \
+         single-id frames lose ({:.4} vs {:.4})",
+        piggy.reliability_mean,
+        solo.reliability_mean
+    );
+    assert!(
+        solo.copies_dropped.unwrap_or(0.0) > piggy.copies_dropped.unwrap_or(0.0),
+        "the overflow ledger must show where the unbatched copies went"
+    );
+}
+
+fn main() {
+    uncontended_matches_prediction();
+    batching_survives_contention();
+    println!(
+        "\nbandwidth is the multi-message failure mode: the i.i.d. prediction \
+         holds while frames are free, and batching is what keeps it honest \
+         once they are not."
+    );
+}

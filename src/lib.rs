@@ -52,8 +52,8 @@ pub use gossip_model::scenario::{
     ProtocolSpec, Report, RuntimeSpec, Scenario, SweepCell, SweepGrid,
 };
 pub use gossip_model::{
-    AdversarySpec, AdversaryStrategy, BurstySpec, ChurnSpec, FanoutDistribution, FaultSpec, Gossip,
-    ModelError, ZoneFailureSpec,
+    AdversarySpec, AdversaryStrategy, ArrivalSpec, BatchingSpec, BurstySpec, ChurnSpec,
+    FanoutDistribution, FaultSpec, Gossip, ModelError, TrafficReport, TrafficSpec, ZoneFailureSpec,
 };
 pub use gossip_protocol::{NetSimBackend, ProtocolBackend};
 pub use gossip_rgraph::GraphBackend;

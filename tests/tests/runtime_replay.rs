@@ -52,12 +52,14 @@ fn shard_width_does_not_change_results() {
         .evaluate(&replay_scenario().with_runtime(RuntimeSpec {
             max_threads: 1,
             pacing_micros_per_milli: 0,
+            watchdog_secs: 0,
         }))
         .unwrap();
     let wide = RuntimeBackend::channel()
         .evaluate(&replay_scenario().with_runtime(RuntimeSpec {
             max_threads: 32,
             pacing_micros_per_milli: 0,
+            watchdog_secs: 0,
         }))
         .unwrap();
     assert_eq!(
@@ -114,6 +116,7 @@ fn runtime_knob_validation_fails_fast() {
     let oversubscribed = replay_scenario().with_runtime(RuntimeSpec {
         max_threads: 100_000,
         pacing_micros_per_milli: 0,
+        watchdog_secs: 0,
     });
     assert!(matches!(
         RuntimeBackend::channel().evaluate(&oversubscribed),
@@ -125,6 +128,7 @@ fn runtime_knob_validation_fails_fast() {
     let overpaced = replay_scenario().with_runtime(RuntimeSpec {
         max_threads: 0,
         pacing_micros_per_milli: 9999,
+        watchdog_secs: 0,
     });
     assert!(matches!(
         RuntimeBackend::tcp().evaluate(&overpaced),

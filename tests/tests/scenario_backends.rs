@@ -283,6 +283,78 @@ fn flat_engine_refusals_and_auto_fallback() {
 }
 
 #[test]
+fn uncontended_stream_agrees_across_stream_backends() {
+    use gossip::{NetSimBackend, ProtocolBackend, RuntimeBackend, TrafficSpec};
+    // A k = 4 stream with no bandwidth cap: offered load never exceeds
+    // the (absent) budget, so every message is an independent execution
+    // of the paper's protocol. The analytic layer must reduce it to the
+    // single-message closed form exactly; protocol, netsim, and the
+    // live runtime must land on that value per message; the static
+    // percolation census must refuse with a typed error.
+    let base = Scenario::new(1000, FanoutSpec::poisson(6.0))
+        .with_failure_ratio(0.9)
+        .with_replications(20)
+        .with_seed(0x7AFF);
+    let stream = base.clone().with_traffic(TrafficSpec::stream(4));
+    let single = AnalyticBackend.evaluate(&base).expect("closed form");
+    let analytic = AnalyticBackend
+        .evaluate(&stream)
+        .expect("uncontended streams reduce to k closed-form evaluations");
+    let reduced = analytic.traffic.as_ref().expect("analytic traffic section");
+    assert_close(
+        reduced.reliability_mean,
+        single.reliability,
+        1e-12,
+        "analytic per-message stream reliability vs the closed form",
+    );
+    assert_close(
+        reduced.reliability_min,
+        reduced.reliability_mean,
+        1e-12,
+        "i.i.d. messages share one closed-form value",
+    );
+
+    let reports = [
+        ProtocolBackend.evaluate(&stream).expect("protocol streams"),
+        NetSimBackend.evaluate(&stream).expect("netsim streams"),
+        RuntimeBackend::channel()
+            .evaluate(&stream)
+            .expect("runtime streams"),
+    ];
+    for report in &reports {
+        let traffic = report
+            .traffic
+            .as_ref()
+            .expect("stream backends report traffic");
+        assert_eq!(traffic.messages, 4);
+        assert_close(
+            traffic.reliability_mean,
+            single.reliability,
+            0.05,
+            &format!("{} stream vs the closed form", report.backend),
+        );
+        assert!(
+            traffic.reliability_min >= traffic.reliability_mean - 0.1,
+            "{}: uncontended messages are i.i.d. (min {} vs mean {})",
+            report.backend,
+            traffic.reliability_min,
+            traffic.reliability_mean
+        );
+    }
+
+    match gossip::GraphBackend.evaluate(&stream) {
+        Err(gossip::ModelError::Unsupported { backend, what }) => {
+            assert_eq!(backend, "graph");
+            assert!(
+                what.contains("traffic"),
+                "graph refusal must name traffic: {what}"
+            );
+        }
+        other => panic!("graph must refuse streams, got {other:?}"),
+    }
+}
+
+#[test]
 fn scenario_serde_roundtrip() {
     // A scenario exercising every spec enum, including a recursive
     // mixture, a crash schedule, and non-default everything.
@@ -312,7 +384,16 @@ fn scenario_serde_roundtrip() {
     .with_protocol(ProtocolSpec::PushPull)
     .with_replications(42)
     .with_executions(7)
-    .with_seed(0xDEAD_BEEF);
+    .with_seed(0xDEAD_BEEF)
+    .with_traffic(
+        gossip::TrafficSpec::stream(16)
+            .with_arrival(gossip::ArrivalSpec::Poisson {
+                rate_per_round: 0.5,
+            })
+            .with_bandwidth(4)
+            .with_queue_capacity(64)
+            .with_piggyback(8),
+    );
 
     let text = serde::json::to_string(&scenario).expect("serializes");
     let back: Scenario = serde::json::from_str(&text).expect("deserializes");
@@ -323,6 +404,8 @@ fn scenario_serde_roundtrip() {
     assert!(text.contains("\"Mixture\""));
     assert!(text.contains("\"crashes\""));
     assert!(text.contains("\"loss\":0.125"));
+    assert!(text.contains("\"traffic\":{"));
+    assert!(text.contains("\"rate_per_round\":0.5"));
 
     // Reports round-trip too.
     let simple = Scenario::new(1000, FanoutSpec::poisson(4.0)).with_failure_ratio(0.9);
